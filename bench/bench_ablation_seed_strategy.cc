@@ -1,0 +1,78 @@
+// Ablation: is the crawl even necessary, given the seed tree already
+// indexes every page MBR? Compares FLAT's two-phase plan (seed once, then
+// crawl neighbor pointers) against using the seed structure as a plain
+// R-Tree (hierarchical range traversal over the metadata records). The
+// paper's Section IV argues the hierarchical plan re-pays overlap and
+// non-leaf I/O that the crawl avoids.
+#include <iostream>
+
+#include "benchutil/experiment.h"
+#include "benchutil/flags.h"
+#include "benchutil/sweep.h"
+#include "benchutil/table.h"
+#include "core/flat_index.h"
+#include "data/query_generator.h"
+#include "storage/buffer_pool.h"
+
+int main(int argc, char** argv) {
+  using namespace flat;
+  BenchFlags flags(argc, argv);
+
+  std::cout << "Ablation: seed+crawl vs hierarchical seed-tree scan\n\n";
+  Table table({"elements", "workload", "crawl reads/q", "scan reads/q",
+               "crawl seed-internal/q", "scan seed-internal/q"});
+  for (size_t count : DensitySweepCounts(flags)) {
+    Dataset dataset = NeuronDatasetAt(count, flags.seed());
+    PageFile file;
+    FlatIndex index = FlatIndex::Build(&file, dataset.elements);
+
+    for (auto [label, fraction] :
+         {std::pair<const char*, double>{"SN", kSnVolumeFraction},
+          {"LSS", kLssVolumeFraction}}) {
+      RangeWorkloadParams wp;
+      wp.count = flags.queries();
+      wp.volume_fraction = fraction;
+      wp.seed = flags.seed() + 1;
+      auto queries = GenerateRangeWorkload(dataset.bounds, wp);
+
+      IoStats crawl_io, scan_io;
+      BufferPool crawl_pool(&file, &crawl_io);
+      BufferPool scan_pool(&file, &scan_io);
+      size_t crawl_results = 0, scan_results = 0;
+      for (const Aabb& q : queries) {
+        std::vector<uint64_t> got;
+        crawl_pool.Clear();
+        index.RangeQuery(&crawl_pool, q, &got);
+        crawl_results += got.size();
+        got.clear();
+        scan_pool.Clear();
+        index.RangeQueryViaSeedScan(&scan_pool, q, &got);
+        scan_results += got.size();
+      }
+      if (crawl_results != scan_results) {
+        std::cerr << "BUG: plans disagree (" << crawl_results << " vs "
+                  << scan_results << ")\n";
+        return 1;
+      }
+      const double q = static_cast<double>(queries.size());
+      table.AddRow(
+          {DensityLabel(count), label,
+           FormatNumber(crawl_io.TotalReads() / q, 1),
+           FormatNumber(scan_io.TotalReads() / q, 1),
+           FormatNumber(crawl_io.ReadsIn(PageCategory::kSeedInternal) / q, 2),
+           FormatNumber(scan_io.ReadsIn(PageCategory::kSeedInternal) / q,
+                        2)});
+    }
+  }
+  flags.csv() ? table.PrintCsv(std::cout) : table.Print(std::cout);
+  std::cout
+      << "\nExpected: both plans return identical results. The crawl reads "
+         "fewer\nseed-internal pages per query, with the gap widening as "
+         "density grows — the\nhierarchy cost the paper's Section IV "
+         "argues against. At this 1/1000 scale the\nseed tree is only 2-4 "
+         "levels deep, so the plain scan stays competitive in total\nreads; "
+         "at the paper's scale (5.3M metadata records, two more levels) the "
+         "scan\npays overlap and non-leaf I/O per level and the crawl wins "
+         "outright.\n";
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 12: total page reads for the SN benchmark (200 range queries of fixed
+// volume, random location and aspect ratio, cold cache per query).
+// Paper claim: the best R-Tree (PR) reads 2x..8x more pages than FLAT, growing with density.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace flat;
+  BenchFlags flags(argc, argv);
+  SweepOptions options;
+  options.volume_fraction = kSnVolumeFraction;
+  options.kinds = bench::kLineup;
+  const auto points = RunDensitySweep(flags, options);
+  std::cout << "Figure 12: total page reads, SN benchmark\n"
+            << "(paper: the best R-Tree (PR) reads 2x..8x more pages than FLAT, growing with density)\n\n";
+  bench::PrintTotalReads(points, flags);
+  return 0;
+}

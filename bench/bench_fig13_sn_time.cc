@@ -1,0 +1,17 @@
+// Figure 13: execution time (DiskModel-simulated) for the SN benchmark (200 range queries of fixed
+// volume, random location and aspect ratio, cold cache per query).
+// Paper claim: time tracks page reads (97.8-98.8% of time is disk I/O in the paper).
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace flat;
+  BenchFlags flags(argc, argv);
+  SweepOptions options;
+  options.volume_fraction = kSnVolumeFraction;
+  options.kinds = bench::kLineup;
+  const auto points = RunDensitySweep(flags, options);
+  std::cout << "Figure 13: execution time (DiskModel-simulated), SN benchmark\n"
+            << "(paper: time tracks page reads (97.8-98.8% of time is disk I/O in the paper))\n\n";
+  bench::PrintSimulatedTime(points, flags);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 14: I/O breakdown for the SN benchmark (200 range queries of fixed
+// volume, random location and aspect ratio, cold cache per query).
+// Paper claim: FLAT's seed reads stay constant while metadata+object grow; the PR-Tree's non-leaf/leaf ratio grows from 2 to 2.8.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace flat;
+  BenchFlags flags(argc, argv);
+  SweepOptions options;
+  options.volume_fraction = kSnVolumeFraction;
+  options.kinds = bench::kLineup;
+  const auto points = RunDensitySweep(flags, options);
+  std::cout << "Figure 14: I/O breakdown, SN benchmark\n"
+            << "(paper: FLAT's seed reads stay constant while metadata+object grow; the PR-Tree's non-leaf/leaf ratio grows from 2 to 2.8)\n\n";
+  bench::PrintBreakdown(points, flags);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 15: page reads per result element for the SN benchmark (200 range queries of fixed
+// volume, random location and aspect ratio, cold cache per query).
+// Paper claim: FLAT's per-result reads fall with density (seed cost amortizes); every R-Tree's rise.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace flat;
+  BenchFlags flags(argc, argv);
+  SweepOptions options;
+  options.volume_fraction = kSnVolumeFraction;
+  options.kinds = bench::kLineup;
+  const auto points = RunDensitySweep(flags, options);
+  std::cout << "Figure 15: page reads per result element, SN benchmark\n"
+            << "(paper: FLAT's per-result reads fall with density (seed cost amortizes); every R-Tree's rise)\n\n";
+  bench::PrintPerResult(points, flags);
+  return 0;
+}

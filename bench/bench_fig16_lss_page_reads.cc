@@ -1,0 +1,17 @@
+// Figure 16: total page reads for the LSS benchmark (200 range queries of fixed
+// volume, random location and aspect ratio, cold cache per query).
+// Paper claim: FLAT needs fewer page reads; the gap (2x-6x) is smaller than for SN.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace flat;
+  BenchFlags flags(argc, argv);
+  SweepOptions options;
+  options.volume_fraction = kLssVolumeFraction;
+  options.kinds = bench::kLineup;
+  const auto points = RunDensitySweep(flags, options);
+  std::cout << "Figure 16: total page reads, LSS benchmark\n"
+            << "(paper: FLAT needs fewer page reads; the gap (2x-6x) is smaller than for SN)\n\n";
+  bench::PrintTotalReads(points, flags);
+  return 0;
+}

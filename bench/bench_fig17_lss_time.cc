@@ -1,0 +1,17 @@
+// Figure 17: execution time (DiskModel-simulated) for the LSS benchmark (200 range queries of fixed
+// volume, random location and aspect ratio, cold cache per query).
+// Paper claim: same shape as the page-read curves.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace flat;
+  BenchFlags flags(argc, argv);
+  SweepOptions options;
+  options.volume_fraction = kLssVolumeFraction;
+  options.kinds = bench::kLineup;
+  const auto points = RunDensitySweep(flags, options);
+  std::cout << "Figure 17: execution time (DiskModel-simulated), LSS benchmark\n"
+            << "(paper: same shape as the page-read curves)\n\n";
+  bench::PrintSimulatedTime(points, flags);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 18: I/O breakdown for the LSS benchmark (200 range queries of fixed
+// volume, random location and aspect ratio, cold cache per query).
+// Paper claim: leaf/object pages dominate for both; the R-Tree's non-leaf overhead still exceeds FLAT's seed+metadata.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace flat;
+  BenchFlags flags(argc, argv);
+  SweepOptions options;
+  options.volume_fraction = kLssVolumeFraction;
+  options.kinds = bench::kLineup;
+  const auto points = RunDensitySweep(flags, options);
+  std::cout << "Figure 18: I/O breakdown, LSS benchmark\n"
+            << "(paper: leaf/object pages dominate for both; the R-Tree's non-leaf overhead still exceeds FLAT's seed+metadata)\n\n";
+  bench::PrintBreakdown(points, flags);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 19: page reads per result element for the LSS benchmark (200 range queries of fixed
+// volume, random location and aspect ratio, cold cache per query).
+// Paper claim: FLAT per-result reads decrease with density; R-Trees' grow.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace flat;
+  BenchFlags flags(argc, argv);
+  SweepOptions options;
+  options.volume_fraction = kLssVolumeFraction;
+  options.kinds = bench::kLineup;
+  const auto points = RunDensitySweep(flags, options);
+  std::cout << "Figure 19: page reads per result element, LSS benchmark\n"
+            << "(paper: FLAT per-result reads decrease with density; R-Trees' grow)\n\n";
+  bench::PrintPerResult(points, flags);
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Micro-benchmarks (google-benchmark) for the geometric and structural
+// primitives on FLAT's hot paths: MBR intersection tests (Section VII-E.2
+// attributes most of FLAT's CPU time to them), space-filling-curve keys,
+// STR tiling, and end-to-end index probes.
+#include <benchmark/benchmark.h>
+
+#include "core/flat_index.h"
+#include "data/neuron_generator.h"
+#include "data/query_generator.h"
+#include "geometry/hilbert.h"
+#include "geometry/morton.h"
+#include "geometry/rng.h"
+#include "rtree/bulkload.h"
+#include "rtree/pack.h"
+#include "storage/buffer_pool.h"
+
+namespace {
+
+using namespace flat;
+
+void BM_AabbIntersects(benchmark::State& state) {
+  Rng rng(1);
+  Aabb universe(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  std::vector<Aabb> boxes;
+  for (int i = 0; i < 1024; ++i) {
+    boxes.push_back(Aabb::FromCenterHalfExtents(rng.PointIn(universe),
+                                                Vec3(2, 3, 1)));
+  }
+  const Aabb query(Vec3(20, 20, 20), Vec3(60, 60, 60));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(boxes[i++ & 1023].Intersects(query));
+  }
+}
+BENCHMARK(BM_AabbIntersects);
+
+void BM_HilbertEncode(benchmark::State& state) {
+  uint32_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Hilbert3D::Encode(v & 0x1fffff, (v * 7) & 0x1fffff,
+                          (v * 13) & 0x1fffff, 21));
+    ++v;
+  }
+}
+BENCHMARK(BM_HilbertEncode);
+
+void BM_MortonEncode(benchmark::State& state) {
+  uint32_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Morton3D::Encode(
+        v & 0x1fffff, (v * 7) & 0x1fffff, (v * 13) & 0x1fffff, 21));
+    ++v;
+  }
+}
+BENCHMARK(BM_MortonEncode);
+
+void BM_StrOrder(benchmark::State& state) {
+  NeuronParams params;
+  params.total_elements = static_cast<size_t>(state.range(0));
+  Dataset dataset = GenerateNeurons(params);
+  for (auto _ : state) {
+    auto copy = dataset.elements;
+    StrOrder(&copy, 73);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StrOrder)->Arg(10000)->Arg(50000);
+
+struct IndexFixture {
+  PageFile file;
+  FlatIndex flat;
+  RTree str;
+  PageFile str_file;
+  std::vector<Aabb> queries;
+
+  IndexFixture() {
+    NeuronParams params;
+    params.total_elements = 100000;
+    Dataset dataset = GenerateNeurons(params);
+    flat = FlatIndex::Build(&file, dataset.elements);
+    str = BulkloadStr(&str_file, dataset.elements);
+    RangeWorkloadParams wp;
+    wp.count = 256;
+    wp.volume_fraction = kDefaultQueryFraction;
+    queries = GenerateRangeWorkload(dataset.bounds, wp);
+  }
+
+  static constexpr double kDefaultQueryFraction = 5e-6;
+};
+
+IndexFixture& Fixture() {
+  static IndexFixture fixture;
+  return fixture;
+}
+
+void BM_FlatRangeQuery(benchmark::State& state) {
+  auto& f = Fixture();
+  IoStats stats;
+  BufferPool pool(&f.file, &stats);
+  std::vector<uint64_t> out;
+  size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    pool.Clear();
+    f.flat.RangeQuery(&pool, f.queries[i++ & 255], &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FlatRangeQuery);
+
+void BM_StrRangeQuery(benchmark::State& state) {
+  auto& f = Fixture();
+  IoStats stats;
+  BufferPool pool(&f.str_file, &stats);
+  std::vector<uint64_t> out;
+  size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    pool.Clear();
+    f.str.RangeQuery(&pool, f.queries[i++ & 255], &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_StrRangeQuery);
+
+void BM_FlatSeedOnly(benchmark::State& state) {
+  auto& f = Fixture();
+  IoStats stats;
+  BufferPool pool(&f.file, &stats);
+  size_t i = 0;
+  for (auto _ : state) {
+    pool.Clear();
+    benchmark::DoNotOptimize(f.flat.Seed(&pool, f.queries[i++ & 255]));
+  }
+}
+BENCHMARK(BM_FlatSeedOnly);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Large-spatial-subvolume use case (Section III-B): retrieve big subvolumes
+// for analysis — here, a tissue-density profile along the cortical depth
+// axis, computed by querying one slab per depth bin.
+//
+//   $ ./examples/subvolume_analysis
+#include <iomanip>
+#include <iostream>
+
+#include "core/flat_index.h"
+#include "data/neuron_generator.h"
+#include "storage/buffer_pool.h"
+
+int main() {
+  using namespace flat;
+
+  NeuronParams params;
+  params.total_elements = 150000;
+  Dataset dataset = GenerateNeurons(params);
+
+  PageFile file;
+  FlatIndex index = FlatIndex::Build(&file, dataset.elements);
+  IoStats stats;
+  BufferPool pool(&file, &stats);
+
+  // Slice the volume into 20 depth bins along z and measure element density
+  // per bin — the laminar structure of the synthetic cortex shows up as
+  // peaks at the five layers.
+  const int kBins = 20;
+  const Vec3 lo = dataset.bounds.lo();
+  const Vec3 hi = dataset.bounds.hi();
+  const double dz = (hi.z - lo.z) / kBins;
+
+  std::cout << "tissue density profile (" << dataset.size()
+            << " elements, " << kBins << " depth bins):\n";
+  size_t max_count = 0;
+  std::vector<size_t> counts(kBins);
+  for (int bin = 0; bin < kBins; ++bin) {
+    const Aabb slab(Vec3(lo.x, lo.y, lo.z + bin * dz),
+                    Vec3(hi.x, hi.y, lo.z + (bin + 1) * dz));
+    pool.Clear();
+    counts[bin] = index.RangeCount(&pool, slab);
+    max_count = std::max(max_count, counts[bin]);
+  }
+  for (int bin = 0; bin < kBins; ++bin) {
+    const double depth = lo.z + (bin + 0.5) * dz;
+    std::cout << std::fixed << std::setprecision(1) << std::setw(6) << depth
+              << " um | " << std::string(60 * counts[bin] / max_count, '#')
+              << " " << counts[bin] << "\n";
+  }
+  std::cout << "\ntotal page reads for " << kBins
+            << " subvolume queries: " << stats.TotalReads() << "\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "benchutil/flags.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace flat {
+
+BenchFlags::BenchFlags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "1";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+
+  if (const char* env = std::getenv("FLAT_BENCH_SCALE")) {
+    scale_ = std::atof(env);
+  }
+  scale_ = GetDouble("scale", scale_);
+  if (scale_ <= 0.0) scale_ = 1.0;
+  queries_ = static_cast<size_t>(GetInt("queries", 200));
+  seed_ = static_cast<uint64_t>(GetInt("seed", 1234));
+  csv_ = values_.contains("csv");
+}
+
+double BenchFlags::GetDouble(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::atof(it->second.c_str());
+}
+
+int64_t BenchFlags::GetInt(const std::string& key, int64_t fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+}
+
+size_t BenchFlags::Scaled(size_t base, size_t min_value) const {
+  return std::max<size_t>(min_value,
+                          static_cast<size_t>(base * scale_));
+}
+
+}  // namespace flat

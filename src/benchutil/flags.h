@@ -1,0 +1,45 @@
+#ifndef FLAT_BENCHUTIL_FLAGS_H_
+#define FLAT_BENCHUTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace flat {
+
+/// Minimal `--key=value` flag parser shared by the bench binaries.
+///
+/// Recognized keys (each bench documents which it honors):
+///   --scale=F     multiplies every data-set size (default 1.0; the benches'
+///                 built-in sizes are already ~1/1000 of the paper's).
+///                 Env fallback: FLAT_BENCH_SCALE.
+///   --queries=N   queries per workload (default: the paper's 200).
+///   --seed=N      RNG seed.
+///   --csv         print CSV instead of aligned tables.
+class BenchFlags {
+ public:
+  BenchFlags(int argc, char** argv);
+
+  double scale() const { return scale_; }
+  size_t queries() const { return queries_; }
+  uint64_t seed() const { return seed_; }
+  bool csv() const { return csv_; }
+
+  /// Generic accessors for bench-specific flags.
+  double GetDouble(const std::string& key, double fallback) const;
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+
+  /// Applies `scale()` to a count, keeping at least `min_value`.
+  size_t Scaled(size_t base, size_t min_value = 1) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  double scale_ = 1.0;
+  size_t queries_ = 200;
+  uint64_t seed_ = 1234;
+  bool csv_ = false;
+};
+
+}  // namespace flat
+
+#endif  // FLAT_BENCHUTIL_FLAGS_H_

@@ -1,0 +1,36 @@
+#include "benchutil/sweep.h"
+
+#include <sstream>
+
+#include "data/neuron_generator.h"
+
+namespace flat {
+
+std::vector<size_t> DensitySweepCounts(const BenchFlags& flags,
+                                       size_t base_step, int steps) {
+  std::vector<size_t> counts;
+  counts.reserve(steps);
+  for (int i = 1; i <= steps; ++i) {
+    counts.push_back(flags.Scaled(base_step * i));
+  }
+  return counts;
+}
+
+Dataset NeuronDatasetAt(size_t element_count, uint64_t seed) {
+  NeuronParams params;
+  params.total_elements = element_count;
+  params.seed = seed;
+  return GenerateNeurons(params);
+}
+
+std::string DensityLabel(size_t element_count) {
+  std::ostringstream oss;
+  if (element_count % 1000 == 0) {
+    oss << element_count / 1000 << "k";
+  } else {
+    oss << element_count;
+  }
+  return oss.str();
+}
+
+}  // namespace flat

@@ -1,0 +1,30 @@
+#ifndef FLAT_BENCHUTIL_SWEEP_H_
+#define FLAT_BENCHUTIL_SWEEP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "benchutil/flags.h"
+#include "data/dataset.h"
+
+namespace flat {
+
+/// Element counts for the standard density sweep. The paper sweeps 50 M to
+/// 450 M elements in 285 µm³ in steps of 50 M; our default base step is
+/// 50'000 (a 1/1000 scale-down), multiplied by `flags.scale()`.
+std::vector<size_t> DensitySweepCounts(const BenchFlags& flags,
+                                       size_t base_step = 50000,
+                                       int steps = 9);
+
+/// The standard microcircuit data set at a given density point. Constant
+/// volume; only the element count changes — "we progressively increase the
+/// density of the data set ... by adding more neurons to the same volume".
+Dataset NeuronDatasetAt(size_t element_count, uint64_t seed);
+
+/// Labels a density point as the paper does: millions of elements per
+/// 285 µm³ (we report the scaled-down thousands instead).
+std::string DensityLabel(size_t element_count);
+
+}  // namespace flat
+
+#endif  // FLAT_BENCHUTIL_SWEEP_H_

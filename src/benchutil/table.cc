@@ -1,0 +1,79 @@
+#include "benchutil/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+namespace flat {
+
+void Table::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < std::min(row.size(), widths.size()); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+         << (c == 0 ? std::left : std::right) << cell;
+      os << std::right;
+    }
+    os << "\n";
+  };
+
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) os << ",";
+      if (c < cells.size()) os << cells[c];
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatNumber(double value, int precision) {
+  std::ostringstream oss;
+  if (value != 0.0 && (std::abs(value) >= 1e6 || std::abs(value) < 1e-3)) {
+    oss << std::scientific << std::setprecision(precision) << value;
+  } else {
+    oss << std::fixed << std::setprecision(precision) << value;
+    std::string s = oss.str();
+    // Trim trailing zeros (keep at least one digit after the point).
+    if (s.find('.') != std::string::npos) {
+      size_t last = s.find_last_not_of('0');
+      if (s[last] == '.') ++last;
+      s.erase(last + 1);
+    }
+    return s;
+  }
+  return oss.str();
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  return FormatNumber(value, 2) + " " + units[unit];
+}
+
+}  // namespace flat

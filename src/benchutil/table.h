@@ -1,0 +1,44 @@
+#ifndef FLAT_BENCHUTIL_TABLE_H_
+#define FLAT_BENCHUTIL_TABLE_H_
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace flat {
+
+/// Fixed-width text table used by every bench binary to print the series of
+/// a paper figure/table: one column per curve, one row per x-axis point.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Appends a row; missing cells print empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Renders with column alignment and a header separator.
+  void Print(std::ostream& os) const;
+
+  /// Renders as CSV (for piping into plotting scripts).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` significant decimals, trimming noise.
+std::string FormatNumber(double value, int precision = 3);
+
+/// Formats a byte count as a human-readable string (KiB/MiB/GiB).
+std::string FormatBytes(uint64_t bytes);
+
+}  // namespace flat
+
+#endif  // FLAT_BENCHUTIL_TABLE_H_

@@ -1,0 +1,457 @@
+#include "core/flat_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <deque>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "rtree/node.h"
+#include "rtree/pack.h"
+
+namespace flat {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+Aabb BoundsOf(const std::vector<RTreeEntry>& entries) {
+  Aabb bounds;
+  for (const RTreeEntry& e : entries) bounds.ExpandToInclude(e.box);
+  return bounds;
+}
+
+}  // namespace
+
+FlatIndex FlatIndex::Build(PageFile* file, std::vector<RTreeEntry> elements,
+                           BuildStats* out_stats) {
+  FlatIndex index;
+  index.file_ = file;
+  BuildStats stats;
+  if (elements.empty()) {
+    index.build_stats_ = stats;
+    if (out_stats != nullptr) *out_stats = stats;
+    return index;
+  }
+
+  const uint32_t page_capacity = NodeCapacity(file->page_size());
+
+  // Phase 1: STR partitioning (Algorithm 1, sorting passes).
+  auto t_partition = Clock::now();
+  const Aabb universe = BoundsOf(elements);
+  std::vector<PartitionInfo> partitions =
+      StrPartition(&elements, page_capacity, universe);
+  stats.partition_seconds = SecondsSince(t_partition);
+
+  // Phase 2: neighborhood computation via the temporary R-tree.
+  auto t_neighbor = Clock::now();
+  ComputeNeighbors(&partitions);
+  stats.neighbor_seconds = SecondsSince(t_neighbor);
+  stats.partitions = partitions.size();
+  stats.neighbor_pointers = TotalNeighborPointers(partitions);
+
+  // Phase 3: materialize object pages and the seed tree.
+  auto t_write = Clock::now();
+
+  // Object pages: one per partition, elements in STR order.
+  std::vector<PageId> object_pages(partitions.size());
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    const PartitionInfo& p = partitions[i];
+    const PageId page = file->Allocate(PageCategory::kObject);
+    NodeWriter writer(file->MutableData(page), file->page_size());
+    writer.Init(/*level=*/0);
+    for (uint32_t j = 0; j < p.count; ++j) {
+      writer.Append(elements[p.first + j]);
+    }
+    object_pages[i] = page;
+  }
+  stats.object_pages = partitions.size();
+
+  // Assign each metadata record to a seed-leaf page. Records are indexed in
+  // the seed tree under their page MBR, and "storing the records in the
+  // leafs of the seed tree (an R-Tree) ensures that spatially close records
+  // are stored on the same leaf page" (Section V-B.2): we therefore re-tile
+  // the records with STR at *leaf granularity* (a 3-D blob of ~a dozen
+  // records per leaf) instead of reusing the 1-D object-page run order —
+  // this is what keeps the crawl's metadata reads local.
+  uint64_t total_footprint = 0;
+  for (const PartitionInfo& p : partitions) {
+    const size_t footprint = RecordFootprint(p.neighbors.size());
+    if (kSeedLeafHeaderSize + footprint > file->page_size()) {
+      throw std::runtime_error(
+          "FlatIndex::Build: metadata record exceeds page size; increase the "
+          "page size or reduce data-set degeneracy (neighbor fan-out)");
+    }
+    total_footprint += footprint;
+  }
+  const uint32_t est_records_per_leaf = std::max<uint32_t>(
+      1, static_cast<uint32_t>(
+             (file->page_size() - kSeedLeafHeaderSize) /
+             (total_footprint / partitions.size() + 1)));
+  std::vector<RTreeEntry> record_order(partitions.size());
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    record_order[i] = RTreeEntry{partitions[i].page_mbr, i};
+  }
+  StrOrder(&record_order, est_records_per_leaf);
+
+  std::vector<std::vector<uint32_t>> leaf_members;
+  std::vector<RecordRef> refs(partitions.size());
+  size_t used = kSeedLeafHeaderSize;
+  for (const RTreeEntry& rec : record_order) {
+    const uint32_t pi = static_cast<uint32_t>(rec.id);
+    const size_t footprint = RecordFootprint(partitions[pi].neighbors.size());
+    if (leaf_members.empty() || used + footprint > file->page_size()) {
+      leaf_members.emplace_back();
+      used = kSeedLeafHeaderSize;
+    }
+    refs[pi].slot = static_cast<uint16_t>(leaf_members.back().size());
+    refs[pi].page = static_cast<PageId>(leaf_members.size() - 1);  // leaf idx
+    leaf_members.back().push_back(pi);
+    used += footprint;
+    stats.metadata_bytes += kRecordFixedSize +
+                            partitions[pi].neighbors.size() * kNeighborRefSize;
+  }
+
+  // Allocate leaves, then rewrite the provisional leaf indexes in refs into
+  // real PageIds. The packed 4-byte neighbor-pointer format caps leaf page
+  // ids at 2^20 and slots at 2^12 (metadata.h); enforce that in release
+  // builds too.
+  std::vector<PageId> leaf_ids(leaf_members.size());
+  for (size_t l = 0; l < leaf_members.size(); ++l) {
+    leaf_ids[l] = file->Allocate(PageCategory::kSeedLeaf);
+  }
+  if (!leaf_ids.empty() && leaf_ids.back() >= kMaxSeedLeafPages) {
+    throw std::runtime_error(
+        "FlatIndex::Build: seed-leaf PageId exceeds the packed neighbor-"
+        "pointer range (2^20 pages); use a larger page size or shard the "
+        "data set");
+  }
+  for (RecordRef& ref : refs) {
+    if (ref.slot >= kMaxRecordsPerLeaf) {
+      throw std::runtime_error(
+          "FlatIndex::Build: record slot exceeds the packed neighbor-"
+          "pointer range (2^12 records per leaf)");
+    }
+    ref.page = leaf_ids[ref.page];
+  }
+
+  // Serialize the leaves with fully-resolved neighbor pointers.
+  std::vector<RTreeEntry> leaf_entries;
+  leaf_entries.reserve(leaf_members.size());
+  for (size_t l = 0; l < leaf_members.size(); ++l) {
+    std::vector<MetadataRecordDraft> drafts;
+    drafts.reserve(leaf_members[l].size());
+    Aabb leaf_bounds;
+    for (uint32_t pi : leaf_members[l]) {
+      const PartitionInfo& p = partitions[pi];
+      MetadataRecordDraft draft;
+      draft.page_mbr = p.page_mbr;
+      draft.partition_mbr = p.partition_mbr;
+      draft.object_page = object_pages[pi];
+      draft.neighbors.reserve(p.neighbors.size());
+      for (uint32_t ni : p.neighbors) draft.neighbors.push_back(refs[ni]);
+      drafts.push_back(std::move(draft));
+      // The record is indexed in the seed tree under its page MBR key
+      // (Section V-B.2).
+      leaf_bounds.ExpandToInclude(p.page_mbr);
+    }
+    WriteSeedLeaf(file->MutableData(leaf_ids[l]), file->page_size(), drafts);
+    leaf_entries.push_back(RTreeEntry{leaf_bounds, leaf_ids[l]});
+  }
+  stats.seed_leaf_pages = leaf_members.size();
+
+  // Internal levels of the seed tree.
+  if (leaf_entries.size() == 1) {
+    index.seed_root_ = leaf_ids.front();
+    index.root_is_leaf_ = true;
+    index.seed_height_ = 1;
+  } else {
+    const size_t pages_before = file->page_count();
+    RTree upper = BuildUpperLevels(file, leaf_entries, /*level=*/1,
+                                   LevelOrder::kStr,
+                                   PageCategory::kSeedInternal);
+    index.seed_root_ = upper.root();
+    index.root_is_leaf_ = false;
+    index.seed_height_ = upper.height();
+    stats.seed_internal_pages = file->page_count() - pages_before;
+  }
+  stats.seed_height = index.seed_height_;
+  stats.write_seconds = SecondsSince(t_write);
+
+  index.partition_profiles_.reserve(partitions.size());
+  for (const PartitionInfo& p : partitions) {
+    index.partition_profiles_.push_back(PartitionProfile{
+        p.partition_mbr.Volume(),
+        static_cast<uint32_t>(p.neighbors.size())});
+  }
+
+  index.build_stats_ = stats;
+  if (out_stats != nullptr) *out_stats = stats;
+  return index;
+}
+
+bool FlatIndex::ProbeRecord(BufferPool* pool, const MetadataRecordView& record,
+                            const ElementPredicate& accept) const {
+  const char* data = pool->Read(record.object_page());
+  NodeView elements(data);
+  for (uint16_t i = 0; i < elements.count(); ++i) {
+    if (accept(elements.BoxAt(i))) return true;
+  }
+  return false;
+}
+
+std::optional<RecordRef> FlatIndex::SeedWhere(
+    BufferPool* pool, const Aabb& gate, const ElementPredicate& accept) const {
+  if (empty() || gate.IsEmpty()) return std::nullopt;
+
+  struct Frame {
+    PageId page;
+    bool is_leaf;
+  };
+  std::vector<Frame> stack = {{seed_root_, root_is_leaf_}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (frame.is_leaf) {
+      SeedLeafView leaf(pool->Read(frame.page));
+      for (uint16_t slot = 0; slot < leaf.count(); ++slot) {
+        MetadataRecordView record = leaf.RecordAt(slot);
+        if (!record.page_mbr().Intersects(gate)) continue;
+        if (ProbeRecord(pool, record, accept)) {
+          return RecordRef{frame.page, slot};
+        }
+      }
+      continue;
+    }
+    NodeView node(pool->Read(frame.page));
+    const bool children_are_leaves = node.level() == 1;
+    for (int i = node.count() - 1; i >= 0; --i) {
+      const RTreeEntry e = node.EntryAt(static_cast<uint16_t>(i));
+      if (e.box.Intersects(gate)) {
+        stack.push_back(
+            Frame{static_cast<PageId>(e.id), children_are_leaves});
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void FlatIndex::CrawlWhere(BufferPool* pool, const Aabb& gate_box,
+                           RecordRef start, std::vector<uint64_t>* out,
+                           CrawlGuard guard,
+                           const ElementPredicate& accept) const {
+  if (empty() || gate_box.IsEmpty() || !start.valid()) return;
+
+  std::deque<RecordRef> queue;            // breadth-first (Algorithm 2)
+  std::unordered_set<uint64_t> enqueued;  // "visited" bookkeeping
+  queue.push_back(start);
+  enqueued.insert(start.Key());
+
+  while (!queue.empty()) {
+    const RecordRef ref = queue.front();
+    queue.pop_front();
+
+    SeedLeafView leaf(pool->Read(ref.page));
+    MetadataRecordView record = leaf.RecordAt(ref.slot);
+
+    // "The object page is only read from disk if m's page MBR intersects
+    // with the query."
+    if (record.page_mbr().Intersects(gate_box)) {
+      NodeView elements(pool->Read(record.object_page()));
+      for (uint16_t i = 0; i < elements.count(); ++i) {
+        const RTreeEntry e = elements.EntryAt(i);
+        if (accept(e.box)) out->push_back(e.id);
+      }
+    }
+
+    // "The neighbor pointers stored in a metadata record M are only followed
+    // if M's partition MBR intersects with the query." (kPageMbr reproduces
+    // the broken variant of Figures 8/9 for the ablation bench.)
+    const Aabb gate = guard == CrawlGuard::kPartitionMbr
+                          ? record.partition_mbr()
+                          : record.page_mbr();
+    if (gate.Intersects(gate_box)) {
+      const uint32_t n = record.neighbor_count();
+      for (uint32_t i = 0; i < n; ++i) {
+        const RecordRef neighbor = record.NeighborAt(i);
+        if (enqueued.insert(neighbor.Key()).second) {
+          queue.push_back(neighbor);
+        }
+      }
+    }
+  }
+}
+
+std::optional<RecordRef> FlatIndex::Seed(BufferPool* pool,
+                                         const Aabb& query) const {
+  return SeedWhere(pool, query,
+                   [&query](const Aabb& box) { return box.Intersects(query); });
+}
+
+void FlatIndex::Crawl(BufferPool* pool, const Aabb& query, RecordRef start,
+                      std::vector<uint64_t>* out, CrawlGuard guard) const {
+  CrawlWhere(pool, query, start, out, guard,
+             [&query](const Aabb& box) { return box.Intersects(query); });
+}
+
+void FlatIndex::RangeQuery(BufferPool* pool, const Aabb& query,
+                           std::vector<uint64_t>* out, CrawlGuard guard) const {
+  std::optional<RecordRef> start = Seed(pool, query);
+  if (!start.has_value()) return;
+  Crawl(pool, query, *start, out, guard);
+}
+
+std::vector<uint64_t> FlatIndex::KnnQuery(BufferPool* pool, const Vec3& center,
+                                          size_t k) const {
+  std::vector<uint64_t> result;
+  if (empty() || k == 0) return result;
+
+  // Initial radius guess: the partition holding `center` (or the nearest
+  // record's page MBR). Probe with SeedWhere over a tiny gate; fall back to
+  // a coarse default when the point lies outside all page MBRs.
+  double radius = 0.0;
+  {
+    const Aabb probe = Aabb::FromPoint(center);
+    std::optional<RecordRef> seed = SeedWhere(
+        pool, probe,
+        [&center](const Aabb& box) { return box.Contains(center); });
+    if (seed.has_value()) {
+      SeedLeafView leaf(pool->Read(seed->page));
+      const Aabb page_mbr = leaf.RecordAt(seed->slot).page_mbr();
+      radius = 0.5 * page_mbr.Extents().Norm() + 1e-12;
+    }
+  }
+
+  // Sphere-crawl with doubling radius until at least k elements lie within
+  // the ball. The accept predicate records each accepted element's distance
+  // in the same order CrawlWhere records its id, so pairing by position is
+  // exact. Once k elements are inside radius r, the true k-th nearest is at
+  // distance <= r, hence all true top-k were inside the ball: ranking the
+  // candidates is exact.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    if (radius <= 0.0) radius = 1.0;
+    const double radius2 = radius * radius;
+    const Aabb gate =
+        Aabb::FromCenterHalfExtents(center, Vec3(radius, radius, radius));
+    std::vector<double> distances;
+    std::vector<uint64_t> ids;
+    const ElementPredicate accept = [&center, radius2,
+                                     &distances](const Aabb& box) {
+      const double d2 = box.DistanceSquaredTo(center);
+      if (d2 > radius2) return false;
+      distances.push_back(d2);
+      return true;
+    };
+    std::optional<RecordRef> start = SeedWhere(pool, gate, accept);
+    distances.clear();  // seed probes also ran the predicate
+    if (start.has_value()) {
+      CrawlWhere(pool, gate, *start, &ids, CrawlGuard::kPartitionMbr,
+                 accept);
+    }
+    // The last attempt returns whatever was found (k may exceed the data
+    // set size).
+    if (ids.size() >= k || attempt == 63) {
+      std::vector<std::pair<double, uint64_t>> candidates(ids.size());
+      for (size_t i = 0; i < ids.size(); ++i) {
+        candidates[i] = {distances[i], ids[i]};
+      }
+      std::sort(candidates.begin(), candidates.end());
+      const size_t take = std::min(k, candidates.size());
+      result.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        result.push_back(candidates[i].second);
+      }
+      return result;
+    }
+    radius *= 2.0;
+  }
+  return result;
+}
+
+void FlatIndex::SphereQuery(BufferPool* pool, const Vec3& center,
+                            double radius, std::vector<uint64_t>* out) const {
+  if (radius < 0.0) return;
+  const Aabb gate = Aabb::FromCenterHalfExtents(
+      center, Vec3(radius, radius, radius));
+  const ElementPredicate accept = [&center, radius](const Aabb& box) {
+    return box.IntersectsSphere(center, radius);
+  };
+  std::optional<RecordRef> start = SeedWhere(pool, gate, accept);
+  if (!start.has_value()) return;
+  CrawlWhere(pool, gate, *start, out, CrawlGuard::kPartitionMbr, accept);
+}
+
+void FlatIndex::RangeQueryViaSeedScan(BufferPool* pool, const Aabb& query,
+                                      std::vector<uint64_t>* out) const {
+  if (empty() || query.IsEmpty()) return;
+  struct Frame {
+    PageId page;
+    bool is_leaf;
+  };
+  std::vector<Frame> stack = {{seed_root_, root_is_leaf_}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (frame.is_leaf) {
+      SeedLeafView leaf(pool->Read(frame.page));
+      for (uint16_t slot = 0; slot < leaf.count(); ++slot) {
+        MetadataRecordView record = leaf.RecordAt(slot);
+        if (!record.page_mbr().Intersects(query)) continue;
+        NodeView elements(pool->Read(record.object_page()));
+        for (uint16_t i = 0; i < elements.count(); ++i) {
+          const RTreeEntry e = elements.EntryAt(i);
+          if (e.box.Intersects(query)) out->push_back(e.id);
+        }
+      }
+      continue;
+    }
+    NodeView node(pool->Read(frame.page));
+    const bool children_are_leaves = node.level() == 1;
+    for (uint16_t i = 0; i < node.count(); ++i) {
+      const RTreeEntry e = node.EntryAt(i);
+      if (e.box.Intersects(query)) {
+        stack.push_back(Frame{static_cast<PageId>(e.id), children_are_leaves});
+      }
+    }
+  }
+}
+
+std::vector<RecordRef> FlatIndex::FindAllCandidateRecords(
+    const Aabb& query) const {
+  std::vector<RecordRef> result;
+  if (empty() || query.IsEmpty()) return result;
+
+  struct Frame {
+    PageId page;
+    bool is_leaf;
+  };
+  std::vector<Frame> stack = {{seed_root_, root_is_leaf_}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (frame.is_leaf) {
+      SeedLeafView leaf(file_->Data(frame.page));
+      for (uint16_t slot = 0; slot < leaf.count(); ++slot) {
+        if (leaf.RecordAt(slot).page_mbr().Intersects(query)) {
+          result.push_back(RecordRef{frame.page, slot});
+        }
+      }
+      continue;
+    }
+    NodeView node(file_->Data(frame.page));
+    const bool children_are_leaves = node.level() == 1;
+    for (uint16_t i = 0; i < node.count(); ++i) {
+      const RTreeEntry e = node.EntryAt(i);
+      if (e.box.Intersects(query)) {
+        stack.push_back(Frame{static_cast<PageId>(e.id), children_are_leaves});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace flat

@@ -1,0 +1,200 @@
+#ifndef FLAT_CORE_FLAT_INDEX_H_
+#define FLAT_CORE_FLAT_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/metadata.h"
+#include "core/partitioner.h"
+#include "geometry/aabb.h"
+#include "rtree/entry.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace flat {
+
+/// FLAT: the paper's two-phase index for dense spatial data.
+///
+/// Usage:
+///
+///   PageFile file;                       // simulated disk
+///   FlatIndex index = FlatIndex::Build(&file, elements);
+///   IoStats stats;
+///   BufferPool pool(&file, &stats);
+///   std::vector<uint64_t> result;
+///   index.RangeQuery(&pool, query_box, &result);
+///
+/// Build bulkloads (the data sets "change only slowly, if at all"; no updates
+/// by design — Section I). Queries run the seed phase (find one intersecting
+/// page through the seed R-tree) followed by the crawl phase (BFS over
+/// neighbor pointers, Algorithm 2); their I/O is charged to the BufferPool's
+/// IoStats under the kSeedInternal / kSeedLeaf / kObject categories,
+/// reproducing the paper's Figure 14/18 breakdowns.
+class FlatIndex {
+ public:
+  /// Timing and layout information captured during Build, matching the
+  /// phases reported in Figure 10 and the size breakdown of Figure 11.
+  struct BuildStats {
+    double partition_seconds = 0.0;  ///< STR sort + tile ("Partitioning").
+    double neighbor_seconds = 0.0;   ///< temp R-tree + joins ("Finding
+                                     ///< Neighbors").
+    double write_seconds = 0.0;      ///< object pages + seed tree.
+    size_t partitions = 0;
+    size_t object_pages = 0;
+    size_t seed_leaf_pages = 0;
+    size_t seed_internal_pages = 0;
+    uint64_t neighbor_pointers = 0;
+    uint64_t metadata_bytes = 0;  ///< serialized record bytes (excl. padding).
+    int seed_height = 0;          ///< seed tree levels incl. leaf level.
+  };
+
+  /// Per-partition figures kept in memory for the Figure 20/21 analyses.
+  struct PartitionProfile {
+    double partition_volume = 0.0;
+    uint32_t neighbor_count = 0;
+  };
+
+  /// Which MBR gates neighbor expansion during the crawl. The paper proves
+  /// kPartitionMbr is required for correctness (Figures 8/9); kPageMbr exists
+  /// only for the `bench_ablation_crawl_guard` experiment demonstrating the
+  /// failure.
+  enum class CrawlGuard { kPartitionMbr, kPageMbr };
+
+  FlatIndex() = default;
+
+  /// Bulkloads `elements` into a fresh FLAT index appended to `file`.
+  /// Elements are reordered (STR) in the process.
+  static FlatIndex Build(PageFile* file, std::vector<RTreeEntry> elements,
+                         BuildStats* stats = nullptr);
+
+  bool empty() const { return seed_root_ == kInvalidPageId; }
+
+  /// Appends the ids of all elements whose MBR intersects `query`.
+  void RangeQuery(BufferPool* pool, const Aabb& query,
+                  std::vector<uint64_t>* out,
+                  CrawlGuard guard = CrawlGuard::kPartitionMbr) const;
+
+  size_t RangeCount(BufferPool* pool, const Aabb& query) const {
+    std::vector<uint64_t> ids;
+    RangeQuery(pool, query, &ids);
+    return ids.size();
+  }
+
+  /// Appends the ids of all elements whose MBR intersects the closed ball
+  /// around `center` — the structural-neighborhood primitive of Section
+  /// III-A ("all elements within a distance of 5 µm"). Seeds and crawls
+  /// with the ball's bounding box, filtering elements by exact
+  /// box-to-sphere distance.
+  void SphereQuery(BufferPool* pool, const Vec3& center, double radius,
+                   std::vector<uint64_t>* out) const;
+
+  /// The ids of (at least) the `k` elements whose MBRs are closest to
+  /// `center`, nearest first. Implemented as iterative-deepening sphere
+  /// crawls: start from the radius of the seed partition and double until k
+  /// elements are inside — every probe is a cheap seed+crawl, so the cost
+  /// stays proportional to the neighborhood size, in the spirit of the
+  /// paper's incremental structural-neighborhood use case.
+  std::vector<uint64_t> KnnQuery(BufferPool* pool, const Vec3& center,
+                                 size_t k) const;
+
+  /// Rebuilds an index over `elements` appended to `file`. The paper's
+  /// update story (Section IV): data changes arrive "in batches" and
+  /// "reindexing is more efficient" than incremental maintenance — this is
+  /// that operation, as a named convenience.
+  static FlatIndex Rebuild(PageFile* file, std::vector<RTreeEntry> elements,
+                           BuildStats* stats = nullptr) {
+    return Build(file, std::move(elements), stats);
+  }
+
+  /// Compact handle describing a built index inside its PageFile; together
+  /// with the PageFile contents this is everything needed to re-attach the
+  /// index (see storage/persistence.h).
+  struct Descriptor {
+    PageId seed_root = kInvalidPageId;
+    bool root_is_leaf = false;
+    int seed_height = 0;
+  };
+
+  Descriptor descriptor() const {
+    return Descriptor{seed_root_, root_is_leaf_, seed_height_};
+  }
+
+  /// Re-attaches an index previously built into `file` (e.g., after
+  /// LoadPageFile). Build statistics and partition profiles are not
+  /// persisted; queries behave identically.
+  static FlatIndex Attach(const PageFile* file,
+                          const Descriptor& descriptor) {
+    FlatIndex index;
+    index.file_ = file;
+    index.seed_root_ = descriptor.seed_root;
+    index.root_is_leaf_ = descriptor.root_is_leaf;
+    index.seed_height_ = descriptor.seed_height;
+    return index;
+  }
+
+  /// Seed phase only: finds one metadata record whose object page contains an
+  /// element intersecting `query` (Section V-B.1), or nullopt when the query
+  /// region is empty of data.
+  std::optional<RecordRef> Seed(BufferPool* pool, const Aabb& query) const;
+
+  /// Crawl phase only (Algorithm 2), starting BFS at `start`. Exposed so
+  /// tests can verify seed-choice independence: any valid start inside the
+  /// query yields the same result set.
+  void Crawl(BufferPool* pool, const Aabb& query, RecordRef start,
+             std::vector<uint64_t>* out,
+             CrawlGuard guard = CrawlGuard::kPartitionMbr) const;
+
+  /// All record addresses whose page MBR intersects `query`; test hook for
+  /// the seed-independence property (walks without charging I/O).
+  std::vector<RecordRef> FindAllCandidateRecords(const Aabb& query) const;
+
+  /// Ablation baseline ("why crawl?"): answers the range query by a plain
+  /// hierarchical traversal of the seed tree — descend every subtree whose
+  /// MBR intersects the query, read each candidate record's object page —
+  /// i.e., use the seed structure as an ordinary R-Tree and ignore the
+  /// neighbor pointers. Charged through `pool` like RangeQuery, so
+  /// `bench_ablation_seed_strategy` can compare the two execution plans.
+  void RangeQueryViaSeedScan(BufferPool* pool, const Aabb& query,
+                             std::vector<uint64_t>* out) const;
+
+  const BuildStats& build_stats() const { return build_stats_; }
+  const std::vector<PartitionProfile>& partition_profiles() const {
+    return partition_profiles_;
+  }
+
+  /// Height of the seed tree (levels including the metadata leaf level).
+  int seed_height() const { return seed_height_; }
+
+ private:
+  /// Element-level acceptance test: queries differ only in how an element
+  /// MBR is matched (box intersection, sphere distance, ...); the page and
+  /// partition MBR gates always use the query's bounding box.
+  using ElementPredicate = std::function<bool(const Aabb&)>;
+
+  // Scans one metadata record during the seed phase; returns true on hit.
+  bool ProbeRecord(BufferPool* pool, const MetadataRecordView& record,
+                   const ElementPredicate& accept) const;
+
+  // Generalized seed phase: finds a record whose object page holds an
+  // accepted element, pruning by `gate` (the query's bounding box).
+  std::optional<RecordRef> SeedWhere(BufferPool* pool, const Aabb& gate,
+                                     const ElementPredicate& accept) const;
+
+  // Generalized crawl (Algorithm 2) with a custom element test.
+  void CrawlWhere(BufferPool* pool, const Aabb& gate, RecordRef start,
+                  std::vector<uint64_t>* out, CrawlGuard guard,
+                  const ElementPredicate& accept) const;
+
+  const PageFile* file_ = nullptr;
+  PageId seed_root_ = kInvalidPageId;
+  bool root_is_leaf_ = false;  // single seed-leaf tree, no internal nodes
+  int seed_height_ = 0;
+  BuildStats build_stats_;
+  std::vector<PartitionProfile> partition_profiles_;
+};
+
+}  // namespace flat
+
+#endif  // FLAT_CORE_FLAT_INDEX_H_

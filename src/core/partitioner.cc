@@ -1,0 +1,138 @@
+#include "core/partitioner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "rtree/mem_rtree.h"
+#include "rtree/pack.h"
+
+namespace flat {
+namespace {
+
+void SortRangeByCenter(std::vector<RTreeEntry>* elements, size_t begin,
+                       size_t end, int axis) {
+  std::sort(elements->begin() + begin, elements->begin() + end,
+            [axis](const RTreeEntry& a, const RTreeEntry& b) {
+              return a.box.Center()[axis] < b.box.Center()[axis];
+            });
+}
+
+// Boundary between two adjacent chunks on `axis`: midway between the last
+// center of the left chunk and the first center of the right chunk. Using
+// element centers keeps every element's center inside its own tile.
+double ChunkBoundary(const std::vector<RTreeEntry>& elements, size_t left_last,
+                     size_t right_first, int axis) {
+  return 0.5 * (elements[left_last].box.Center()[axis] +
+                elements[right_first].box.Center()[axis]);
+}
+
+// Splits [begin, end) into chunks of `chunk_size` and reports, for chunk k,
+// its [lo, hi] interval on `axis` such that consecutive chunks share
+// boundaries and the outermost chunks extend to [axis_lo, axis_hi].
+struct Chunk {
+  size_t begin;
+  size_t end;
+  double lo;
+  double hi;
+};
+
+std::vector<Chunk> MakeChunks(const std::vector<RTreeEntry>& elements,
+                              size_t begin, size_t end, size_t chunk_size,
+                              int axis, double axis_lo, double axis_hi) {
+  std::vector<Chunk> chunks;
+  double lo = axis_lo;
+  for (size_t s = begin; s < end; s += chunk_size) {
+    const size_t e = std::min(end, s + chunk_size);
+    double hi = e < end ? ChunkBoundary(elements, e - 1, e, axis) : axis_hi;
+    // Guard against non-monotone boundaries when many centers coincide.
+    hi = std::max(hi, lo);
+    chunks.push_back({s, e, lo, hi});
+    lo = hi;
+  }
+  if (!chunks.empty()) chunks.back().hi = std::max(axis_hi, chunks.back().lo);
+  return chunks;
+}
+
+}  // namespace
+
+std::vector<PartitionInfo> StrPartition(std::vector<RTreeEntry>* elements,
+                                        uint32_t page_capacity,
+                                        const Aabb& universe) {
+  assert(page_capacity >= 1);
+  std::vector<PartitionInfo> partitions;
+  const size_t n = elements->size();
+  if (n == 0) return partitions;
+
+  // pn = cbrt(size / pagesize) partitions per dimension (Algorithm 1).
+  const size_t total_pages = (n + page_capacity - 1) / page_capacity;
+  const size_t sx = CeilCbrt(total_pages);
+  const size_t x_chunk = (n + sx - 1) / sx;
+
+  SortRangeByCenter(elements, 0, n, 0);
+  const std::vector<Chunk> x_chunks = MakeChunks(
+      *elements, 0, n, x_chunk, 0, universe.lo().x, universe.hi().x);
+
+  for (const Chunk& xc : x_chunks) {
+    const size_t m = xc.end - xc.begin;
+    const size_t slab_pages = (m + page_capacity - 1) / page_capacity;
+    const size_t sy = CeilSqrt(slab_pages);
+    const size_t y_chunk = (m + sy - 1) / sy;
+
+    SortRangeByCenter(elements, xc.begin, xc.end, 1);
+    const std::vector<Chunk> y_chunks =
+        MakeChunks(*elements, xc.begin, xc.end, y_chunk, 1, universe.lo().y,
+                   universe.hi().y);
+
+    for (const Chunk& yc : y_chunks) {
+      SortRangeByCenter(elements, yc.begin, yc.end, 2);
+      const std::vector<Chunk> z_chunks =
+          MakeChunks(*elements, yc.begin, yc.end, page_capacity, 2,
+                     universe.lo().z, universe.hi().z);
+
+      for (const Chunk& zc : z_chunks) {
+        PartitionInfo partition;
+        partition.first = static_cast<uint32_t>(zc.begin);
+        partition.count = static_cast<uint32_t>(zc.end - zc.begin);
+        partition.tile = Aabb(Vec3(xc.lo, yc.lo, zc.lo),
+                              Vec3(xc.hi, yc.hi, zc.hi));
+        Aabb page_mbr;
+        for (size_t i = zc.begin; i < zc.end; ++i) {
+          page_mbr.ExpandToInclude((*elements)[i].box);
+        }
+        partition.page_mbr = page_mbr;
+        partition.partition_mbr = partition.tile;
+        partition.partition_mbr.ExpandToInclude(page_mbr);  // stretch
+        partitions.push_back(std::move(partition));
+      }
+    }
+  }
+  return partitions;
+}
+
+void ComputeNeighbors(std::vector<PartitionInfo>* partitions) {
+  std::vector<Aabb> boxes;
+  boxes.reserve(partitions->size());
+  for (const PartitionInfo& p : *partitions) {
+    boxes.push_back(p.partition_mbr);
+  }
+  // "All partition MBRs are inserted into a temporary R-Tree, used solely to
+  // compute the neighborhood information" (Section V-A).
+  MemRTree index(boxes);
+  for (size_t i = 0; i < partitions->size(); ++i) {
+    PartitionInfo& p = (*partitions)[i];
+    p.neighbors.clear();
+    index.ForEachIntersecting(p.partition_mbr, [&](uint32_t j) {
+      if (j != i) p.neighbors.push_back(j);
+    });
+    std::sort(p.neighbors.begin(), p.neighbors.end());
+  }
+}
+
+uint64_t TotalNeighborPointers(const std::vector<PartitionInfo>& partitions) {
+  uint64_t total = 0;
+  for (const PartitionInfo& p : partitions) total += p.neighbors.size();
+  return total;
+}
+
+}  // namespace flat

@@ -1,0 +1,54 @@
+#ifndef FLAT_CORE_PARTITIONER_H_
+#define FLAT_CORE_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/aabb.h"
+#include "rtree/entry.h"
+
+namespace flat {
+
+/// One space partition produced by Algorithm 1. Refers to a contiguous range
+/// [first, first + count) of the (reordered) element array; that range is
+/// exactly what gets packed onto one object page.
+struct PartitionInfo {
+  /// MBR of the elements on the page ("page MBR").
+  Aabb page_mbr;
+  /// The space tile stretched to enclose page_mbr ("partition MBR").
+  Aabb partition_mbr;
+  /// The unstretched tile; tiles jointly cover the universe with no gaps.
+  Aabb tile;
+  uint32_t first = 0;
+  uint32_t count = 0;
+  /// Indices of neighboring partitions (partition MBRs intersect); filled by
+  /// ComputeNeighbors.
+  std::vector<uint32_t> neighbors;
+};
+
+/// Segments space into page-sized partitions per Algorithm 1: sort elements
+/// on x-center into slabs, each slab on y into runs, each run on z into
+/// page-capacity chunks. Tile boundaries are placed midway between adjacent
+/// element centers (outermost tiles extend to the universe bounds), so the
+/// tiles cover `universe` with no empty space — the first partitioning
+/// property of Section V-B. Each partition MBR is then stretched to enclose
+/// its page MBR — the second property.
+///
+/// `elements` is reordered in place; on return, partition i owns
+/// elements [first, first+count).
+std::vector<PartitionInfo> StrPartition(std::vector<RTreeEntry>* elements,
+                                        uint32_t page_capacity,
+                                        const Aabb& universe);
+
+/// Fills `neighbors` for every partition: two partitions are neighbors iff
+/// their partition MBRs intersect (closed intervals, so face-adjacent tiles
+/// qualify). Uses a temporary in-memory R-tree exactly as Algorithm 1
+/// prescribes. The relation is symmetric and irreflexive.
+void ComputeNeighbors(std::vector<PartitionInfo>* partitions);
+
+/// Total number of neighbor pointers across all partitions.
+uint64_t TotalNeighborPointers(const std::vector<PartitionInfo>& partitions);
+
+}  // namespace flat
+
+#endif  // FLAT_CORE_PARTITIONER_H_

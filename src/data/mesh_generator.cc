@@ -1,0 +1,143 @@
+#include "data/mesh_generator.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "geometry/rng.h"
+#include "geometry/shapes.h"
+
+namespace flat {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// Cheap deterministic multi-octave trig noise in [-1, 1]; good enough to
+// break up the regularity of analytic surfaces.
+double TrigNoise(double u, double v, const double phase[4]) {
+  return 0.5 * std::sin(3.0 * u + phase[0]) * std::cos(2.0 * v + phase[1]) +
+         0.3 * std::sin(7.0 * u + phase[2]) * std::sin(5.0 * v + phase[3]) +
+         0.2 * std::cos(11.0 * u + phase[0]) * std::sin(13.0 * v + phase[2]);
+}
+
+// Emits two triangles for the grid quad (r,c)-(r+1,c+1) given a vertex
+// lookup.
+template <typename VertexFn>
+void EmitQuad(size_t r, size_t c, VertexFn vertex, uint64_t* next_id,
+              std::vector<RTreeEntry>* out) {
+  const Vec3 v00 = vertex(r, c);
+  const Vec3 v01 = vertex(r, c + 1);
+  const Vec3 v10 = vertex(r + 1, c);
+  const Vec3 v11 = vertex(r + 1, c + 1);
+  Triangle t1{v00, v01, v11};
+  Triangle t2{v00, v11, v10};
+  out->push_back(RTreeEntry{t1.Bounds(), (*next_id)++});
+  out->push_back(RTreeEntry{t2.Bounds(), (*next_id)++});
+}
+
+// Sphere-like shell: radius modulated by noise; `squash` flattens the z axis
+// to make ellipsoids for the statue composite.
+void GenerateShell(size_t target_triangles, double radius, Vec3 center,
+                   double noise_amplitude, Vec3 squash, Rng* rng,
+                   uint64_t* next_id, std::vector<RTreeEntry>* out) {
+  // rows x cols grid of quads => 2*rows*cols triangles.
+  const size_t rows = std::max<size_t>(
+      4, static_cast<size_t>(std::sqrt(target_triangles / 4.0)));
+  const size_t cols = 2 * rows;
+  double phase[4];
+  for (double& p : phase) p = rng->Uniform(0.0, 2.0 * kPi);
+
+  auto vertex = [&](size_t r, size_t c) {
+    const double theta = kPi * static_cast<double>(r) / rows;   // [0, pi]
+    const double phi = 2.0 * kPi * static_cast<double>(c % cols) / cols;
+    const double noise = TrigNoise(theta, phi, phase);
+    const double rho = radius * (1.0 + noise_amplitude * noise);
+    Vec3 p(rho * std::sin(theta) * std::cos(phi) * squash.x,
+           rho * std::sin(theta) * std::sin(phi) * squash.y,
+           rho * std::cos(theta) * squash.z);
+    return center + p;
+  };
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      EmitQuad(r, c, vertex, next_id, out);
+    }
+  }
+}
+
+// Heavily folded heightfield sheet (gyri/sulci): z = folds over (x, y), with
+// the fold amplitude large relative to the wavelength so vertical slices
+// through the data are concave.
+void GenerateFoldedSheet(size_t target_triangles, double scale,
+                         double noise_amplitude, Rng* rng, uint64_t* next_id,
+                         std::vector<RTreeEntry>* out) {
+  const size_t rows = std::max<size_t>(
+      4, static_cast<size_t>(std::sqrt(target_triangles / 2.0)));
+  const size_t cols = rows;
+  double phase[4];
+  for (double& p : phase) p = rng->Uniform(0.0, 2.0 * kPi);
+
+  auto vertex = [&](size_t r, size_t c) {
+    const double u = static_cast<double>(r) / rows;
+    const double v = static_cast<double>(c) / cols;
+    const double x = (u - 0.5) * 2.0 * scale;
+    const double y = (v - 0.5) * 2.0 * scale;
+    // Primary deep folds plus secondary wrinkles.
+    const double z =
+        scale * 0.35 * std::sin(14.0 * kPi * u + phase[0]) *
+            std::cos(10.0 * kPi * v + phase[1]) +
+        scale * noise_amplitude * TrigNoise(6.0 * u, 6.0 * v, phase);
+    return Vec3(x, y, z);
+  };
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      EmitQuad(r, c, vertex, next_id, out);
+    }
+  }
+}
+
+}  // namespace
+
+Dataset GenerateMesh(const MeshParams& params) {
+  Dataset dataset;
+  Rng rng(params.seed);
+  uint64_t next_id = 0;
+
+  switch (params.kind) {
+    case MeshKind::kNoisySphere:
+      dataset.name = "mesh-sphere";
+      GenerateShell(params.target_triangles, params.scale, Vec3(0, 0, 0),
+                    params.noise_amplitude, Vec3(1, 1, 1), &rng, &next_id,
+                    &dataset.elements);
+      break;
+    case MeshKind::kFoldedSheet:
+      dataset.name = "mesh-brain";
+      GenerateFoldedSheet(params.target_triangles, params.scale,
+                          params.noise_amplitude, &rng, &next_id,
+                          &dataset.elements);
+      break;
+    case MeshKind::kStatue: {
+      dataset.name = "mesh-statue";
+      // Body, head and two wing-like shells — a crude angel silhouette with
+      // the thin-shell, multi-component geometry of a statue scan.
+      const size_t t = params.target_triangles;
+      const double s = params.scale;
+      GenerateShell(t / 2, s * 0.5, Vec3(0, 0, 0), params.noise_amplitude,
+                    Vec3(0.6, 0.6, 1.6), &rng, &next_id, &dataset.elements);
+      GenerateShell(t / 6, s * 0.22, Vec3(0, 0, s * 0.95),
+                    params.noise_amplitude, Vec3(1, 1, 1), &rng, &next_id,
+                    &dataset.elements);
+      GenerateShell(t / 6, s * 0.45, Vec3(s * 0.35, 0, s * 0.25),
+                    params.noise_amplitude, Vec3(0.9, 0.25, 1.2), &rng,
+                    &next_id, &dataset.elements);
+      GenerateShell(t / 6, s * 0.45, Vec3(-s * 0.35, 0, s * 0.25),
+                    params.noise_amplitude, Vec3(0.9, 0.25, 1.2), &rng,
+                    &next_id, &dataset.elements);
+      break;
+    }
+  }
+
+  dataset.bounds = dataset.ElementBounds();
+  return dataset;
+}
+
+}  // namespace flat

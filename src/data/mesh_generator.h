@@ -1,0 +1,41 @@
+#ifndef FLAT_DATA_MESH_GENERATOR_H_
+#define FLAT_DATA_MESH_GENERATOR_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace flat {
+
+/// Kind of synthetic surface mesh.
+enum class MeshKind {
+  /// A sphere with low-frequency radial noise — generic dense surface.
+  kNoisySphere,
+  /// A strongly folded sheet: sulci/gyri-like geometry standing in for the
+  /// paper's 173 M-triangle brain surface mesh (Section VIII). Folding makes
+  /// the data set concave, the property that defeats crawling approaches
+  /// like DLS and motivates FLAT's partition-based neighborhood.
+  kFoldedSheet,
+  /// A composite of deformed ellipsoid shells standing in for the "Lucy"
+  /// statue scan (252 M triangles).
+  kStatue,
+};
+
+/// Parameters for the triangle-mesh generator.
+struct MeshParams {
+  MeshKind kind = MeshKind::kNoisySphere;
+  /// Approximate triangle count; the actual count is the nearest full grid.
+  size_t target_triangles = 100000;
+  /// Overall model scale (bounding radius / half-extent), in model units.
+  double scale = 100.0;
+  /// Relative amplitude of the deformation noise in [0, ~0.5].
+  double noise_amplitude = 0.15;
+  uint64_t seed = 11;
+};
+
+/// Generates a triangle surface mesh; one element per triangle.
+Dataset GenerateMesh(const MeshParams& params);
+
+}  // namespace flat
+
+#endif  // FLAT_DATA_MESH_GENERATOR_H_

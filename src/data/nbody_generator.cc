@@ -1,0 +1,51 @@
+#include "data/nbody_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "geometry/rng.h"
+#include "geometry/shapes.h"
+
+namespace flat {
+
+Dataset GenerateNBody(const NBodyParams& params) {
+  Dataset dataset;
+  dataset.name = "nbody";
+  const double side = params.universe_side;
+  dataset.bounds = Aabb(Vec3(0, 0, 0), Vec3(side, side, side));
+  dataset.elements.reserve(params.count);
+
+  Rng rng(params.seed);
+  std::vector<Vec3> centers;
+  centers.reserve(params.clusters);
+  for (size_t c = 0; c < params.clusters; ++c) {
+    centers.push_back(rng.PointIn(dataset.bounds));
+  }
+
+  const double a = params.cluster_scale * side;  // Plummer scale radius
+  for (size_t i = 0; i < params.count; ++i) {
+    Vec3 position;
+    if (centers.empty() || rng.Bernoulli(params.background_fraction)) {
+      position = rng.PointIn(dataset.bounds);
+    } else {
+      const Vec3& center =
+          centers[static_cast<size_t>(rng.UniformInt(0, centers.size() - 1))];
+      // Plummer radial CDF inversion: r = a / sqrt(u^(-2/3) - 1).
+      const double u = rng.Uniform(1e-9, 1.0);
+      double r = a / std::sqrt(std::pow(u, -2.0 / 3.0) - 1.0);
+      r = std::min(r, 10.0 * a);  // clip the heavy tail
+      position = center + rng.UnitVector() * r;
+      for (int axis = 0; axis < 3; ++axis) {
+        position.At(axis) = std::clamp(position[axis], dataset.bounds.lo()[axis],
+                                       dataset.bounds.hi()[axis]);
+      }
+    }
+    Sphere particle{position, params.particle_radius};
+    dataset.elements.push_back(
+        RTreeEntry{particle.Bounds(), static_cast<uint64_t>(i)});
+  }
+  return dataset;
+}
+
+}  // namespace flat

@@ -1,0 +1,37 @@
+#ifndef FLAT_DATA_NBODY_GENERATOR_H_
+#define FLAT_DATA_NBODY_GENERATOR_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace flat {
+
+/// Parameters for the synthetic n-body particle generator.
+///
+/// Stands in for the Nuage cosmology snapshots the paper indexes in Section
+/// VIII (dark matter / gas / stars vertices). Cosmological structure is
+/// heavily clustered; we sample Plummer spheres — the standard analytic
+/// cluster model in stellar dynamics — placed uniformly in the universe, plus
+/// a diffuse background fraction.
+struct NBodyParams {
+  size_t count = 100000;
+  /// Number of Plummer clusters.
+  size_t clusters = 64;
+  /// Plummer scale radius as a fraction of the universe side.
+  double cluster_scale = 0.02;
+  /// Fraction of particles placed uniformly instead of in clusters.
+  double background_fraction = 0.1;
+  /// Universe cube side (model units, e.g. Mpc).
+  double universe_side = 1000.0;
+  /// Interaction radius giving each vertex a tiny box extent.
+  double particle_radius = 0.05;
+  uint64_t seed = 23;
+};
+
+/// Generates a clustered particle data set; one element per particle.
+Dataset GenerateNBody(const NBodyParams& params);
+
+}  // namespace flat
+
+#endif  // FLAT_DATA_NBODY_GENERATOR_H_

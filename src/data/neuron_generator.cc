@@ -1,0 +1,116 @@
+#include "data/neuron_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "geometry/rng.h"
+#include "geometry/shapes.h"
+
+namespace flat {
+namespace {
+
+// A growth cone: tip of a growing fiber.
+struct GrowthCone {
+  Vec3 position;
+  Vec3 direction;
+  double radius;
+};
+
+// Keeps the cone inside the tissue volume by reflecting its direction off
+// the walls.
+void ReflectIntoVolume(const Aabb& volume, GrowthCone* cone) {
+  for (int axis = 0; axis < 3; ++axis) {
+    if (cone->position[axis] < volume.lo()[axis]) {
+      cone->position.At(axis) =
+          2.0 * volume.lo()[axis] - cone->position[axis];
+      cone->direction.At(axis) = std::abs(cone->direction[axis]);
+    } else if (cone->position[axis] > volume.hi()[axis]) {
+      cone->position.At(axis) =
+          2.0 * volume.hi()[axis] - cone->position[axis];
+      cone->direction.At(axis) = -std::abs(cone->direction[axis]);
+    }
+  }
+}
+
+}  // namespace
+
+Dataset GenerateNeurons(const NeuronParams& params) {
+  Dataset dataset;
+  dataset.name = "neurons";
+  const double side = params.volume_side_um;
+  dataset.bounds = Aabb(Vec3(0, 0, 0), Vec3(side, side, side));
+  if (params.total_elements == 0) return dataset;
+
+  Rng rng(params.seed);
+  dataset.elements.reserve(params.total_elements);
+
+  const size_t per_neuron = std::max<size_t>(1, params.segments_per_neuron);
+  uint64_t next_id = 0;
+
+  while (dataset.elements.size() < params.total_elements) {
+    // One neuron: soma + stems growing as branching persistent random walks.
+    Vec3 soma = rng.PointIn(dataset.bounds);
+    if (params.layers > 1) {
+      // Laminar skew: snap the soma depth to one of the cortical layers.
+      const int layer =
+          static_cast<int>(rng.UniformInt(0, params.layers - 1));
+      const double center = side * (layer + 0.5) / params.layers;
+      soma.z = std::clamp(center + rng.Normal(0.0, params.layer_sigma * side),
+                          0.0, side);
+    }
+    std::deque<GrowthCone> cones;
+    for (int s = 0; s < params.stems; ++s) {
+      double radius = params.initial_radius_um;
+      if (params.radius_lognormal_sigma > 0.0) {
+        radius = std::clamp(
+            params.initial_radius_um *
+                std::exp(rng.Normal(0.0, params.radius_lognormal_sigma)),
+            params.min_radius_um, params.max_radius_um);
+      }
+      cones.push_back(GrowthCone{soma, rng.UnitVector(), radius});
+    }
+
+    size_t produced = 0;
+    // Round-robin growth over the active cones keeps the arbor balanced.
+    while (produced < per_neuron &&
+           dataset.elements.size() < params.total_elements &&
+           !cones.empty()) {
+      GrowthCone cone = cones.front();
+      cones.pop_front();
+
+      const double length =
+          std::max(0.25 * params.segment_length_um,
+                   rng.Normal(params.segment_length_um,
+                              0.25 * params.segment_length_um));
+      const Vec3 wobble = rng.UnitVector();
+      cone.direction = (cone.direction * params.direction_persistence +
+                        wobble * (1.0 - params.direction_persistence))
+                           .Normalized();
+
+      const Vec3 start = cone.position;
+      GrowthCone next = cone;
+      next.position = start + cone.direction * length;
+      ReflectIntoVolume(dataset.bounds, &next);
+      next.radius = std::max(params.min_radius_um, cone.radius * 0.995);
+
+      Cylinder segment{start, next.position, cone.radius, next.radius};
+      dataset.elements.push_back(RTreeEntry{segment.Bounds(), next_id++});
+      ++produced;
+
+      cones.push_back(next);
+      if (rng.Bernoulli(params.branch_probability) &&
+          cones.size() < per_neuron) {
+        GrowthCone branch = next;
+        branch.direction =
+            (branch.direction * 0.5 + rng.UnitVector() * 0.5).Normalized();
+        branch.radius = std::max(params.min_radius_um, branch.radius * 0.7);
+        cones.push_back(branch);
+      }
+    }
+  }
+  return dataset;
+}
+
+}  // namespace flat

@@ -1,0 +1,52 @@
+#include "data/query_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/rng.h"
+
+namespace flat {
+
+std::vector<Aabb> GenerateRangeWorkload(const Aabb& universe,
+                                        const RangeWorkloadParams& params) {
+  std::vector<Aabb> queries;
+  queries.reserve(params.count);
+  Rng rng(params.seed);
+
+  const double target_volume = universe.Volume() * params.volume_fraction;
+  const Vec3 extent = universe.Extents();
+
+  for (size_t i = 0; i < params.count; ++i) {
+    // Random aspect weights, rescaled so the side product hits the target
+    // volume; sides are additionally capped by the universe extent.
+    Vec3 w(rng.Uniform(params.min_aspect, params.max_aspect),
+           rng.Uniform(params.min_aspect, params.max_aspect),
+           rng.Uniform(params.min_aspect, params.max_aspect));
+    const double scale = std::cbrt(target_volume / (w.x * w.y * w.z));
+    Vec3 sides = w * scale;
+    sides = Vec3::Min(sides, extent);
+
+    // Place the box uniformly such that it stays inside the universe.
+    Vec3 lo;
+    for (int axis = 0; axis < 3; ++axis) {
+      const double slack = extent[axis] - sides[axis];
+      lo.At(axis) = universe.lo()[axis] +
+                    (slack > 0.0 ? rng.Uniform(0.0, slack) : 0.0);
+    }
+    queries.push_back(Aabb(lo, lo + sides));
+  }
+  return queries;
+}
+
+std::vector<Vec3> GeneratePointWorkload(const Aabb& universe, size_t count,
+                                        uint64_t seed) {
+  std::vector<Vec3> points;
+  points.reserve(count);
+  Rng rng(seed);
+  for (size_t i = 0; i < count; ++i) {
+    points.push_back(rng.PointIn(universe));
+  }
+  return points;
+}
+
+}  // namespace flat

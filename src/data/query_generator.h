@@ -1,0 +1,43 @@
+#ifndef FLAT_DATA_QUERY_GENERATOR_H_
+#define FLAT_DATA_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/aabb.h"
+#include "geometry/vec3.h"
+
+namespace flat {
+
+/// Parameters for a range-query workload.
+///
+/// The paper's micro-benchmarks (Section VII-A) execute 200 range queries of
+/// a fixed *volume fraction* of the data-set space — 5e-7 % for the
+/// structural-neighborhood (SN) benchmark, 5e-4 % for the large-spatial-
+/// subvolume (LSS) benchmark — with "location and aspect ratio ... chosen at
+/// random".
+struct RangeWorkloadParams {
+  size_t count = 200;
+  /// Query volume as a *fraction* of the universe volume (the paper quotes
+  /// percentages: 5e-7 % == fraction 5e-9).
+  double volume_fraction = 5e-9;
+  /// Aspect ratios are drawn per axis in [min_aspect, max_aspect], then the
+  /// box is scaled to the target volume.
+  double min_aspect = 0.25;
+  double max_aspect = 4.0;
+  uint64_t seed = 1234;
+};
+
+/// Generates `params.count` random boxes of fixed volume inside `universe`.
+/// Queries are clamped so they never extend past the universe.
+std::vector<Aabb> GenerateRangeWorkload(const Aabb& universe,
+                                        const RangeWorkloadParams& params);
+
+/// Generates uniformly random point-query locations inside `universe`
+/// (Figure 2's workload).
+std::vector<Vec3> GeneratePointWorkload(const Aabb& universe, size_t count,
+                                        uint64_t seed);
+
+}  // namespace flat
+
+#endif  // FLAT_DATA_QUERY_GENERATOR_H_

@@ -1,0 +1,48 @@
+#include "data/uniform_generator.h"
+
+#include <cmath>
+
+#include "geometry/rng.h"
+
+namespace flat {
+
+Dataset GenerateUniformBoxes(const UniformBoxParams& params) {
+  Dataset dataset;
+  dataset.name = "uniform";
+  const double side = params.universe_side_um;
+  dataset.bounds = Aabb(Vec3(0, 0, 0), Vec3(side, side, side));
+  dataset.elements.reserve(params.count);
+
+  Rng rng(params.seed);
+  for (size_t i = 0; i < params.count; ++i) {
+    Vec3 half;
+    switch (params.shape) {
+      case BoxShapeMode::kCube:
+        half = Vec3(params.side_um, params.side_um, params.side_um) * 0.5;
+        break;
+      case BoxShapeMode::kUniformSides:
+        half = Vec3(rng.Uniform(params.min_side_um, params.max_side_um),
+                    rng.Uniform(params.min_side_um, params.max_side_um),
+                    rng.Uniform(params.min_side_um, params.max_side_um)) *
+               0.5;
+        break;
+      case BoxShapeMode::kFixedVolumeRandomAspect: {
+        Vec3 sides(rng.Uniform(params.min_side_um, params.max_side_um),
+                   rng.Uniform(params.min_side_um, params.max_side_um),
+                   rng.Uniform(params.min_side_um, params.max_side_um));
+        // Normalize along a random axis ordering so the product of the sides
+        // equals the target volume while keeping the drawn aspect ratio.
+        const double volume = sides.x * sides.y * sides.z;
+        const double scale = std::cbrt(params.element_volume_um3 / volume);
+        half = sides * scale * 0.5;
+        break;
+      }
+    }
+    const Vec3 center = rng.PointIn(dataset.bounds);
+    dataset.elements.push_back(RTreeEntry{
+        Aabb::FromCenterHalfExtents(center, half), static_cast<uint64_t>(i)});
+  }
+  return dataset;
+}
+
+}  // namespace flat

@@ -1,0 +1,43 @@
+#ifndef FLAT_DATA_UNIFORM_GENERATOR_H_
+#define FLAT_DATA_UNIFORM_GENERATOR_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace flat {
+
+/// Controls the shape distribution of uniformly-placed box elements.
+enum class BoxShapeMode {
+  /// Cubes with side `side_um`.
+  kCube,
+  /// Per-axis sides drawn uniformly from [min_side_um, max_side_um].
+  kUniformSides,
+  /// Random aspect ratio, then all axes rescaled so every element has volume
+  /// `element_volume_um3` — the paper's aspect-ratio experiment (Section
+  /// VII-E.1: lengths "randomly set between 5 and 35 µm", normalized "to
+  /// obtain elements of equal volume").
+  kFixedVolumeRandomAspect,
+};
+
+/// Parameters for the artificial uniform data sets used in the FLAT analysis
+/// experiments (Figure 21 and the two in-text sweeps): "10 million elements
+/// which are uniformly randomly distributed in a volume of 8 mm³".
+struct UniformBoxParams {
+  size_t count = 100000;
+  /// Side of the cubic universe, in µm (8 mm³ = cube of 2000 µm sides).
+  double universe_side_um = 2000.0;
+  BoxShapeMode shape = BoxShapeMode::kCube;
+  double side_um = 2.0;        // kCube
+  double min_side_um = 5.0;    // kUniformSides / kFixedVolumeRandomAspect
+  double max_side_um = 35.0;   // kUniformSides / kFixedVolumeRandomAspect
+  double element_volume_um3 = 18.0;  // kFixedVolumeRandomAspect
+  uint64_t seed = 7;
+};
+
+/// Generates uniformly placed boxes; centers are uniform in the universe.
+Dataset GenerateUniformBoxes(const UniformBoxParams& params);
+
+}  // namespace flat
+
+#endif  // FLAT_DATA_UNIFORM_GENERATOR_H_

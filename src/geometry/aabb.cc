@@ -1,0 +1,9 @@
+#include "geometry/aabb.h"
+
+// Aabb is header-only; this translation unit exists so the geometry library
+// has an archive member even on toolchains that strip header-only targets.
+namespace flat {
+static_assert(sizeof(Aabb) == 6 * sizeof(double),
+              "Aabb must stay a plain 6-double layout; the storage layer "
+              "serializes it by memcpy");
+}  // namespace flat

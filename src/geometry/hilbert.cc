@@ -1,0 +1,123 @@
+#include "geometry/hilbert.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace flat {
+namespace {
+
+constexpr int kDims = 3;
+
+// Converts the "transposed" Hilbert representation (one bit-interleaved word
+// per dimension) into coordinates, and vice versa. This is the Skilling
+// variant of the Butz algorithm (AIP Conf. Proc. 707, 2004): O(bits * dims)
+// with no lookup tables.
+void TransposeToAxes(uint32_t coords[kDims], int bits) {
+  uint32_t n = 2u << (bits - 1);
+  // Gray decode by H ^ (H/2).
+  uint32_t t = coords[kDims - 1] >> 1;
+  for (int i = kDims - 1; i > 0; --i) coords[i] ^= coords[i - 1];
+  coords[0] ^= t;
+  // Undo excess work.
+  for (uint32_t q = 2; q != n; q <<= 1) {
+    uint32_t p = q - 1;
+    for (int i = kDims - 1; i >= 0; --i) {
+      if (coords[i] & q) {
+        coords[0] ^= p;  // invert
+      } else {
+        t = (coords[0] ^ coords[i]) & p;
+        coords[0] ^= t;
+        coords[i] ^= t;
+      }
+    }
+  }
+}
+
+void AxesToTranspose(uint32_t coords[kDims], int bits) {
+  uint32_t m = 1u << (bits - 1);
+  // Inverse undo.
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    uint32_t p = q - 1;
+    for (int i = 0; i < kDims; ++i) {
+      if (coords[i] & q) {
+        coords[0] ^= p;
+      } else {
+        uint32_t t = (coords[0] ^ coords[i]) & p;
+        coords[0] ^= t;
+        coords[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < kDims; ++i) coords[i] ^= coords[i - 1];
+  uint32_t t = 0;
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    if (coords[kDims - 1] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < kDims; ++i) coords[i] ^= t;
+}
+
+// Interleaves the transposed representation into a single index: bit b of
+// dimension i of the transpose becomes bit (b*kDims + (kDims-1-i)) of the key.
+uint64_t InterleaveTranspose(const uint32_t coords[kDims], int bits) {
+  uint64_t d = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < kDims; ++i) {
+      d = (d << 1) | ((coords[i] >> b) & 1u);
+    }
+  }
+  return d;
+}
+
+void DeinterleaveTranspose(uint64_t d, int bits, uint32_t coords[kDims]) {
+  for (int i = 0; i < kDims; ++i) coords[i] = 0;
+  for (int b = 0; b < bits; ++b) {
+    for (int i = kDims - 1; i >= 0; --i) {
+      coords[i] |= static_cast<uint32_t>(d & 1u) << b;
+      d >>= 1;
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t Hilbert3D::Encode(uint32_t x, uint32_t y, uint32_t z, int bits) {
+  assert(bits >= 1 && bits <= kMaxBits);
+  uint32_t coords[kDims] = {x, y, z};
+  AxesToTranspose(coords, bits);
+  return InterleaveTranspose(coords, bits);
+}
+
+void Hilbert3D::Decode(uint64_t d, int bits, uint32_t* x, uint32_t* y,
+                       uint32_t* z) {
+  assert(bits >= 1 && bits <= kMaxBits);
+  uint32_t coords[kDims];
+  DeinterleaveTranspose(d, bits, coords);
+  TransposeToAxes(coords, bits);
+  *x = coords[0];
+  *y = coords[1];
+  *z = coords[2];
+}
+
+uint64_t Hilbert3D::EncodePoint(const Vec3& p, const Aabb& bounds, int bits) {
+  assert(!bounds.IsEmpty());
+  uint32_t max_cell = (1u << bits) - 1;
+  uint32_t q[kDims];
+  for (int axis = 0; axis < kDims; ++axis) {
+    double lo = bounds.lo()[axis];
+    double hi = bounds.hi()[axis];
+    double extent = hi - lo;
+    if (extent <= 0.0) {
+      q[axis] = 0;
+      continue;
+    }
+    double frac = (p[axis] - lo) / extent;
+    frac = std::clamp(frac, 0.0, 1.0);
+    q[axis] = std::min(max_cell,
+                       static_cast<uint32_t>(frac * (max_cell + 1.0)));
+  }
+  return Encode(q[0], q[1], q[2], bits);
+}
+
+}  // namespace flat

@@ -1,0 +1,41 @@
+#ifndef FLAT_GEOMETRY_HILBERT_H_
+#define FLAT_GEOMETRY_HILBERT_H_
+
+#include <array>
+#include <cstdint>
+
+#include "geometry/aabb.h"
+#include "geometry/vec3.h"
+
+namespace flat {
+
+/// 3-D Hilbert space-filling curve utilities.
+///
+/// The Hilbert R-Tree bulkloader (Kamel & Faloutsos, VLDB '94 — reference [12]
+/// in the paper) sorts elements by the Hilbert value of their MBR center so
+/// that consecutive elements are spatially close. We implement the classic
+/// Butz/Lawder transpose algorithm for arbitrary precision up to 21 bits per
+/// axis (63-bit keys).
+class Hilbert3D {
+ public:
+  /// Maximum supported bits per axis so the derived key fits in 64 bits.
+  static constexpr int kMaxBits = 21;
+
+  /// Encodes discrete coordinates into a Hilbert curve index. Each coordinate
+  /// must be < 2^bits; `bits` must be in [1, kMaxBits].
+  static uint64_t Encode(uint32_t x, uint32_t y, uint32_t z, int bits);
+
+  /// Inverse of Encode.
+  static void Decode(uint64_t d, int bits, uint32_t* x, uint32_t* y,
+                     uint32_t* z);
+
+  /// Maps a point in `bounds` to its Hilbert index after quantizing each axis
+  /// into 2^bits cells. Points outside `bounds` are clamped. Degenerate axes
+  /// (zero extent) quantize to cell 0.
+  static uint64_t EncodePoint(const Vec3& p, const Aabb& bounds,
+                              int bits = kMaxBits);
+};
+
+}  // namespace flat
+
+#endif  // FLAT_GEOMETRY_HILBERT_H_

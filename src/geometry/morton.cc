@@ -1,0 +1,66 @@
+#include "geometry/morton.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flat {
+namespace {
+
+// Spreads the low 21 bits of v so consecutive bits end up 3 apart.
+uint64_t SpreadBits(uint64_t v) {
+  v &= 0x1fffff;  // 21 bits
+  v = (v | (v << 32)) & 0x1f00000000ffffULL;
+  v = (v | (v << 16)) & 0x1f0000ff0000ffULL;
+  v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v << 2)) & 0x1249249249249249ULL;
+  return v;
+}
+
+uint32_t CompactBits(uint64_t v) {
+  v &= 0x1249249249249249ULL;
+  v = (v ^ (v >> 2)) & 0x10c30c30c30c30c3ULL;
+  v = (v ^ (v >> 4)) & 0x100f00f00f00f00fULL;
+  v = (v ^ (v >> 8)) & 0x1f0000ff0000ffULL;
+  v = (v ^ (v >> 16)) & 0x1f00000000ffffULL;
+  v = (v ^ (v >> 32)) & 0x1fffff;
+  return static_cast<uint32_t>(v);
+}
+
+}  // namespace
+
+uint64_t Morton3D::Encode(uint32_t x, uint32_t y, uint32_t z, int bits) {
+  assert(bits >= 1 && bits <= kMaxBits);
+  uint32_t mask = bits >= 32 ? ~0u : ((1u << bits) - 1);
+  return SpreadBits(x & mask) | (SpreadBits(y & mask) << 1) |
+         (SpreadBits(z & mask) << 2);
+}
+
+void Morton3D::Decode(uint64_t code, uint32_t* x, uint32_t* y, uint32_t* z,
+                      int bits) {
+  assert(bits >= 1 && bits <= kMaxBits);
+  uint32_t mask = bits >= 32 ? ~0u : ((1u << bits) - 1);
+  *x = CompactBits(code) & mask;
+  *y = CompactBits(code >> 1) & mask;
+  *z = CompactBits(code >> 2) & mask;
+}
+
+uint64_t Morton3D::EncodePoint(const Vec3& p, const Aabb& bounds, int bits) {
+  assert(!bounds.IsEmpty());
+  uint32_t max_cell = (1u << bits) - 1;
+  uint32_t q[3];
+  for (int axis = 0; axis < 3; ++axis) {
+    double lo = bounds.lo()[axis];
+    double extent = bounds.hi()[axis] - lo;
+    if (extent <= 0.0) {
+      q[axis] = 0;
+      continue;
+    }
+    double frac = std::clamp((p[axis] - lo) / extent, 0.0, 1.0);
+    q[axis] =
+        std::min(max_cell, static_cast<uint32_t>(frac * (max_cell + 1.0)));
+  }
+  return Encode(q[0], q[1], q[2], bits);
+}
+
+}  // namespace flat

@@ -1,0 +1,68 @@
+#ifndef FLAT_GEOMETRY_RNG_H_
+#define FLAT_GEOMETRY_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+#include "geometry/aabb.h"
+#include "geometry/vec3.h"
+
+namespace flat {
+
+/// Deterministic random-number helper used by the data generators and query
+/// workloads. Thin wrapper over std::mt19937_64 with geometry-flavored
+/// convenience draws; identical seeds reproduce identical data sets across
+/// runs, which the benchmark harness relies on.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Normal draw.
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Uniform point inside `box`.
+  Vec3 PointIn(const Aabb& box) {
+    return Vec3(Uniform(box.lo().x, box.hi().x),
+                Uniform(box.lo().y, box.hi().y),
+                Uniform(box.lo().z, box.hi().z));
+  }
+
+  /// Uniform direction on the unit sphere.
+  Vec3 UnitVector() {
+    // Marsaglia rejection sampling.
+    while (true) {
+      double a = Uniform(-1.0, 1.0);
+      double b = Uniform(-1.0, 1.0);
+      double s = a * a + b * b;
+      if (s >= 1.0 || s == 0.0) continue;
+      double r = 2.0 * std::sqrt(1.0 - s);
+      return Vec3(a * r, b * r, 1.0 - 2.0 * s);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace flat
+
+#endif  // FLAT_GEOMETRY_RNG_H_

@@ -1,0 +1,37 @@
+#include "geometry/shapes.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace flat {
+
+Aabb Cylinder::Bounds() const {
+  Vec3 ra(radius_a, radius_a, radius_a);
+  Vec3 rb(radius_b, radius_b, radius_b);
+  Aabb box(a - ra, a + ra);
+  box.ExpandToInclude(Aabb(b - rb, b + rb));
+  return box;
+}
+
+double Cylinder::Volume() const {
+  // Truncated cone: V = pi*h/3 * (r1^2 + r1*r2 + r2^2).
+  double h = AxisLength();
+  return std::numbers::pi * h / 3.0 *
+         (radius_a * radius_a + radius_a * radius_b + radius_b * radius_b);
+}
+
+Aabb Triangle::Bounds() const {
+  Aabb box = Aabb::FromCorners(a, b);
+  box.ExpandToInclude(c);
+  return box;
+}
+
+double Triangle::Area() const {
+  return 0.5 * (b - a).Cross(c - a).Norm();
+}
+
+double Sphere::Volume() const {
+  return 4.0 / 3.0 * std::numbers::pi * radius * radius * radius;
+}
+
+}  // namespace flat

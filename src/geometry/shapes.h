@@ -1,0 +1,61 @@
+#ifndef FLAT_GEOMETRY_SHAPES_H_
+#define FLAT_GEOMETRY_SHAPES_H_
+
+#include "geometry/aabb.h"
+#include "geometry/vec3.h"
+
+namespace flat {
+
+/// A truncated cone ("cylinder" in the paper): the primitive used to model
+/// neuron branches. Described by two end points and a radius at each end
+/// (Section VII-A: "Each cylinder is described by two end points and a radius
+/// for each endpoint").
+struct Cylinder {
+  Vec3 a;
+  Vec3 b;
+  double radius_a = 0.0;
+  double radius_b = 0.0;
+
+  /// Conservative axis-aligned bounding box: the union of the two end-cap
+  /// spheres' boxes. Exact for the purposes of MBR-based indexing (the paper
+  /// itself only ever stores and tests MBRs).
+  Aabb Bounds() const;
+
+  /// Length of the axis segment.
+  double AxisLength() const { return (b - a).Norm(); }
+
+  /// Volume of the truncated cone.
+  double Volume() const;
+};
+
+/// A 3-D surface-mesh triangle (used by the brain-mesh and statue data sets,
+/// Section VIII: "9 floats/doubles suffice" per mesh triangle).
+struct Triangle {
+  Vec3 a;
+  Vec3 b;
+  Vec3 c;
+
+  Aabb Bounds() const;
+
+  double Area() const;
+
+  Vec3 Centroid() const { return (a + b + c) / 3.0; }
+};
+
+/// A sphere; used by the n-body particle data sets where vertices carry a
+/// tiny interaction radius.
+struct Sphere {
+  Vec3 center;
+  double radius = 0.0;
+
+  Aabb Bounds() const {
+    Vec3 r(radius, radius, radius);
+    return Aabb(center - r, center + r);
+  }
+
+  double Volume() const;
+};
+
+}  // namespace flat
+
+#endif  // FLAT_GEOMETRY_SHAPES_H_

@@ -1,0 +1,97 @@
+#ifndef FLAT_GEOMETRY_VEC3_H_
+#define FLAT_GEOMETRY_VEC3_H_
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace flat {
+
+/// A point/vector in 3-D space. All coordinates are double precision, matching
+/// the paper's experimental setup ("double precision floating point numbers to
+/// represent the coordinates of the MBRs").
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double px, double py, double pz) : x(px), y(py), z(pz) {}
+
+  /// Component access by axis index (0 = x, 1 = y, 2 = z).
+  constexpr double operator[](int axis) const {
+    return axis == 0 ? x : (axis == 1 ? y : z);
+  }
+
+  /// Mutable component access by axis index.
+  double& At(int axis) { return axis == 0 ? x : (axis == 1 ? y : z); }
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return Vec3(x + o.x, y + o.y, z + o.z);
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return Vec3(x - o.x, y - o.y, z - o.z);
+  }
+  constexpr Vec3 operator*(double s) const { return Vec3(x * s, y * s, z * s); }
+  constexpr Vec3 operator/(double s) const { return Vec3(x / s, y / s, z / s); }
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3& o) const {
+    return x == o.x && y == o.y && z == o.z;
+  }
+  constexpr bool operator!=(const Vec3& o) const { return !(*this == o); }
+
+  constexpr double Dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+
+  constexpr Vec3 Cross(const Vec3& o) const {
+    return Vec3(y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x);
+  }
+
+  double Norm() const { return std::sqrt(Dot(*this)); }
+
+  constexpr double SquaredNorm() const { return Dot(*this); }
+
+  /// Returns this vector scaled to unit length; the zero vector is returned
+  /// unchanged.
+  Vec3 Normalized() const {
+    double n = Norm();
+    return n > 0.0 ? (*this) / n : *this;
+  }
+
+  static constexpr Vec3 Min(const Vec3& a, const Vec3& b) {
+    return Vec3(std::min(a.x, b.x), std::min(a.y, b.y), std::min(a.z, b.z));
+  }
+  static constexpr Vec3 Max(const Vec3& a, const Vec3& b) {
+    return Vec3(std::max(a.x, b.x), std::max(a.y, b.y), std::max(a.z, b.z));
+  }
+};
+
+inline constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+}  // namespace flat
+
+#endif  // FLAT_GEOMETRY_VEC3_H_

@@ -1,0 +1,52 @@
+#ifndef FLAT_RTREE_BULKLOAD_H_
+#define FLAT_RTREE_BULKLOAD_H_
+
+#include <vector>
+
+#include "rtree/entry.h"
+#include "rtree/rtree.h"
+#include "storage/page_file.h"
+
+namespace flat {
+
+/// The bulkloading strategies the paper compares (Section II / VII) plus the
+/// Morton/Z-order and TGS extensions used by the ablation benches.
+enum class BulkloadStrategy {
+  kStr,      ///< Sort-Tile-Recursive [16] — "the most commonly used".
+  kHilbert,  ///< Hilbert-curve packing [12] — "the first".
+  kMorton,   ///< Z-order packing [18] (extension; locality ablation).
+  kPrTree,   ///< Priority R-Tree [1] — "the most recent".
+  kTgs,      ///< Top-down Greedy Split [7] (extension).
+};
+
+const char* BulkloadStrategyName(BulkloadStrategy strategy);
+
+/// Bulkloads `entries` into a fresh R-Tree appended to `file` using 3-D
+/// Sort-Tile-Recursive tiling. Entries are taken by value because every
+/// strategy reorders them.
+RTree BulkloadStr(PageFile* file, std::vector<RTreeEntry> entries);
+
+/// Bulkloads by sorting on the Hilbert value of the MBR centers and packing
+/// consecutive runs (Kamel & Faloutsos). Upper levels keep curve order.
+RTree BulkloadHilbert(PageFile* file, std::vector<RTreeEntry> entries);
+
+/// Same as BulkloadHilbert but with Morton/Z-order keys.
+RTree BulkloadMorton(PageFile* file, std::vector<RTreeEntry> entries);
+
+/// Bulkloads with the Priority R-Tree construction (Arge et al., SIGMOD '04):
+/// per pseudo-node, six priority leaves of coordinate-extreme entries (xmin,
+/// ymin, zmin, xmax, ymax, zmax), remainder median-split on a round-robin
+/// axis; applied level by level.
+RTree BulkloadPrTree(PageFile* file, std::vector<RTreeEntry> entries);
+
+/// Bulkloads with Top-down Greedy Split (García et al., GIS '96): recursive
+/// binary splits at page-multiple boundaries minimizing total bounding volume.
+RTree BulkloadTgs(PageFile* file, std::vector<RTreeEntry> entries);
+
+/// Dispatch by strategy.
+RTree Bulkload(PageFile* file, std::vector<RTreeEntry> entries,
+               BulkloadStrategy strategy);
+
+}  // namespace flat
+
+#endif  // FLAT_RTREE_BULKLOAD_H_

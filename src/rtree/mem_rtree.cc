@@ -1,0 +1,71 @@
+#include "rtree/mem_rtree.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "rtree/entry.h"
+#include "rtree/pack.h"
+
+namespace flat {
+
+MemRTree::MemRTree(const std::vector<Aabb>& boxes, int fanout)
+    : item_boxes_(boxes) {
+  assert(fanout >= 2);
+  if (boxes.empty()) return;
+
+  // STR-order the item indices by reusing the disk bulkloader's tiler.
+  std::vector<RTreeEntry> ordered(boxes.size());
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    ordered[i] = RTreeEntry{boxes[i], i};
+  }
+  StrOrder(&ordered, static_cast<uint32_t>(fanout));
+  items_.resize(ordered.size());
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    items_[i] = static_cast<uint32_t>(ordered[i].id);
+  }
+
+  // Leaf level: runs of `fanout` consecutive items.
+  std::vector<uint32_t> level;  // node indices of the current level
+  for (size_t start = 0; start < items_.size();
+       start += static_cast<size_t>(fanout)) {
+    const size_t end =
+        std::min(items_.size(), start + static_cast<size_t>(fanout));
+    Node node;
+    node.leaf = true;
+    node.first = static_cast<uint32_t>(start);
+    node.count = static_cast<uint32_t>(end - start);
+    for (size_t i = start; i < end; ++i) {
+      node.box.ExpandToInclude(item_boxes_[items_[i]]);
+    }
+    nodes_.push_back(node);
+    level.push_back(static_cast<uint32_t>(nodes_.size() - 1));
+  }
+
+  // Upper levels: runs of `fanout` consecutive children. Children of one
+  // parent are contiguous in nodes_ because each level is appended in order.
+  while (level.size() > 1) {
+    std::vector<uint32_t> next;
+    for (size_t start = 0; start < level.size();
+         start += static_cast<size_t>(fanout)) {
+      const size_t end =
+          std::min(level.size(), start + static_cast<size_t>(fanout));
+      Node node;
+      node.leaf = false;
+      node.first = level[start];
+      node.count = static_cast<uint32_t>(end - start);
+      for (size_t i = start; i < end; ++i) {
+        node.box.ExpandToInclude(nodes_[level[i]].box);
+      }
+      nodes_.push_back(node);
+      next.push_back(static_cast<uint32_t>(nodes_.size() - 1));
+    }
+    level = std::move(next);
+  }
+  root_ = level.front();
+}
+
+void MemRTree::Query(const Aabb& query, std::vector<uint32_t>* out) const {
+  ForEachIntersecting(query, [out](uint32_t item) { out->push_back(item); });
+}
+
+}  // namespace flat

@@ -1,0 +1,67 @@
+#ifndef FLAT_RTREE_MEM_RTREE_H_
+#define FLAT_RTREE_MEM_RTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/aabb.h"
+
+namespace flat {
+
+/// Static in-memory R-tree over a vector of boxes, STR-packed at build time.
+///
+/// Algorithm 1 inserts all partition MBRs "into a temporary R-Tree, used
+/// solely to compute the neighborhood information"; this is that structure.
+/// It is also handy as a fast intersection oracle in tests. Stores item
+/// *indices* (positions in the input vector), not ids.
+class MemRTree {
+ public:
+  MemRTree() = default;
+
+  /// Builds over `boxes`; `fanout` children per node.
+  explicit MemRTree(const std::vector<Aabb>& boxes, int fanout = 16);
+
+  /// Appends the indices of all boxes intersecting `query` to `out`.
+  void Query(const Aabb& query, std::vector<uint32_t>* out) const;
+
+  /// Calls `fn(index)` for every box intersecting `query`.
+  template <typename Fn>
+  void ForEachIntersecting(const Aabb& query, Fn&& fn) const {
+    if (nodes_.empty() || query.IsEmpty()) return;
+    std::vector<uint32_t> stack = {root_};
+    while (!stack.empty()) {
+      const Node& node = nodes_[stack.back()];
+      stack.pop_back();
+      if (!node.box.Intersects(query)) continue;
+      if (node.leaf) {
+        for (uint32_t i = 0; i < node.count; ++i) {
+          const uint32_t item = items_[node.first + i];
+          if (item_boxes_[item].Intersects(query)) fn(item);
+        }
+      } else {
+        for (uint32_t i = 0; i < node.count; ++i) {
+          stack.push_back(node.first + i);
+        }
+      }
+    }
+  }
+
+  size_t size() const { return item_boxes_.size(); }
+
+ private:
+  struct Node {
+    Aabb box;
+    uint32_t first = 0;  // first item (leaf) or first child node index
+    uint32_t count = 0;
+    bool leaf = false;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> items_;      // item indices in STR order
+  std::vector<Aabb> item_boxes_;     // copy of the input boxes
+  uint32_t root_ = 0;
+};
+
+}  // namespace flat
+
+#endif  // FLAT_RTREE_MEM_RTREE_H_

@@ -1,0 +1,119 @@
+#include "rtree/pack.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "rtree/node.h"
+
+namespace flat {
+
+size_t CeilCbrt(size_t value) {
+  if (value <= 1) return value;
+  size_t r = static_cast<size_t>(std::llround(std::cbrt(
+      static_cast<double>(value))));
+  while (r * r * r < value) ++r;
+  while (r > 1 && (r - 1) * (r - 1) * (r - 1) >= value) --r;
+  return r;
+}
+
+size_t CeilSqrt(size_t value) {
+  if (value <= 1) return value;
+  size_t r = static_cast<size_t>(std::llround(std::sqrt(
+      static_cast<double>(value))));
+  while (r * r < value) ++r;
+  while (r > 1 && (r - 1) * (r - 1) >= value) --r;
+  return r;
+}
+
+namespace {
+
+// Sorts [first, last) by center coordinate on `axis`.
+void SortByCenter(std::vector<RTreeEntry>::iterator first,
+                  std::vector<RTreeEntry>::iterator last, int axis) {
+  std::sort(first, last, [axis](const RTreeEntry& a, const RTreeEntry& b) {
+    return a.box.Center()[axis] < b.box.Center()[axis];
+  });
+}
+
+}  // namespace
+
+void StrOrder(std::vector<RTreeEntry>* entries, uint32_t node_capacity) {
+  const size_t n = entries->size();
+  if (n <= node_capacity) return;
+  const size_t pages = (n + node_capacity - 1) / node_capacity;
+
+  // Number of x-slabs: ceil(P^(1/3)); each slab then holds about P^(2/3)
+  // pages and is tiled recursively in y and z.
+  const size_t sx = CeilCbrt(pages);
+  const size_t slab_size = (n + sx - 1) / sx;
+
+  SortByCenter(entries->begin(), entries->end(), 0);
+  for (size_t xs = 0; xs < n; xs += slab_size) {
+    const size_t xe = std::min(n, xs + slab_size);
+    SortByCenter(entries->begin() + xs, entries->begin() + xe, 1);
+
+    const size_t slab_n = xe - xs;
+    const size_t slab_pages = (slab_n + node_capacity - 1) / node_capacity;
+    const size_t sy = CeilSqrt(slab_pages);
+    const size_t run_size = (slab_n + sy - 1) / sy;
+
+    for (size_t ys = xs; ys < xe; ys += run_size) {
+      const size_t ye = std::min(xe, ys + run_size);
+      SortByCenter(entries->begin() + ys, entries->begin() + ye, 2);
+    }
+  }
+}
+
+std::vector<RTreeEntry> PackLevel(PageFile* file,
+                                  const std::vector<RTreeEntry>& ordered,
+                                  uint8_t level, PageCategory leaf_category,
+                                  PageCategory internal_category) {
+  const uint32_t capacity = NodeCapacity(file->page_size());
+  const PageCategory category = level == 0 ? leaf_category : internal_category;
+
+  std::vector<RTreeEntry> parents;
+  parents.reserve(ordered.size() / capacity + 1);
+  for (size_t start = 0; start < ordered.size(); start += capacity) {
+    const size_t end = std::min(ordered.size(), start + capacity);
+    PageId page = file->Allocate(category);
+    NodeWriter writer(file->MutableData(page), file->page_size());
+    writer.Init(level);
+    Aabb bounds;
+    for (size_t i = start; i < end; ++i) {
+      writer.Append(ordered[i]);
+      bounds.ExpandToInclude(ordered[i].box);
+    }
+    parents.push_back(RTreeEntry{bounds, page});
+  }
+  return parents;
+}
+
+RTree BuildUpperLevels(PageFile* file, std::vector<RTreeEntry> level_entries,
+                       uint8_t level, LevelOrder order,
+                       PageCategory internal_category) {
+  assert(!level_entries.empty());
+  const uint32_t capacity = NodeCapacity(file->page_size());
+  while (level_entries.size() > 1) {
+    if (order == LevelOrder::kStr) {
+      StrOrder(&level_entries, capacity);
+    }
+    level_entries = PackLevel(file, level_entries, level,
+                              PageCategory::kRTreeLeaf, internal_category);
+    ++level;
+  }
+  return RTree(file, static_cast<PageId>(level_entries.front().id), level);
+}
+
+RTree PackOrderedLeaves(PageFile* file, const std::vector<RTreeEntry>& ordered,
+                        LevelOrder order, PageCategory leaf_category) {
+  if (ordered.empty()) return RTree();
+  std::vector<RTreeEntry> parents =
+      PackLevel(file, ordered, /*level=*/0, leaf_category);
+  if (parents.size() == 1) {
+    return RTree(file, static_cast<PageId>(parents.front().id), 1);
+  }
+  return BuildUpperLevels(file, std::move(parents), /*level=*/1, order);
+}
+
+}  // namespace flat

@@ -1,0 +1,60 @@
+#ifndef FLAT_RTREE_PACK_H_
+#define FLAT_RTREE_PACK_H_
+
+#include <vector>
+
+#include "rtree/entry.h"
+#include "rtree/rtree.h"
+#include "storage/page_file.h"
+
+namespace flat {
+
+/// How a bulkloader arranges the entries of each tree level before packing
+/// them into consecutive full pages.
+enum class LevelOrder {
+  /// Keep the order produced for the level below (Hilbert/Morton packing —
+  /// consecutive runs of children become one parent).
+  kSequential,
+  /// Re-tile the level with Sort-Tile-Recursive on entry centers.
+  kStr,
+};
+
+/// Reorders `entries` in 3-D Sort-Tile-Recursive order (Leutenegger et al.,
+/// ICDE '97 — reference [16]): sort by x-center into vertical slabs, each slab
+/// by y-center into runs, each run by z-center. `node_capacity` determines the
+/// tile size so that consecutive runs of `node_capacity` entries form tight
+/// tiles.
+void StrOrder(std::vector<RTreeEntry>* entries, uint32_t node_capacity);
+
+/// Exact ceil(value^(1/3)) / ceil(sqrt(value)) on integers (std::cbrt(27.0)
+/// can land just above 3.0, which would silently mis-tile STR).
+size_t CeilCbrt(size_t value);
+size_t CeilSqrt(size_t value);
+
+/// Packs `ordered` into consecutive full nodes of `level` appended to `file`,
+/// and returns the parent-level entries (node MBR + child PageId). Level-0
+/// pages are tagged `leaf_category`, higher levels `internal_category` (the
+/// FLAT seed tree reuses this machinery with seed categories).
+std::vector<RTreeEntry> PackLevel(
+    PageFile* file, const std::vector<RTreeEntry>& ordered, uint8_t level,
+    PageCategory leaf_category = PageCategory::kRTreeLeaf,
+    PageCategory internal_category = PageCategory::kRTreeInternal);
+
+/// Repeatedly packs levels until a single root remains; `level_entries` are
+/// the parents of the already-written level `level - 1`. Returns the finished
+/// tree.
+RTree BuildUpperLevels(
+    PageFile* file, std::vector<RTreeEntry> level_entries, uint8_t level,
+    LevelOrder order,
+    PageCategory internal_category = PageCategory::kRTreeInternal);
+
+/// Bulkloads from pre-ordered leaf entries: packs leaves in the given order,
+/// then builds upper levels per `order`. The workhorse shared by every
+/// bulkloading strategy except the PR-Tree (which packs its own levels).
+RTree PackOrderedLeaves(PageFile* file, const std::vector<RTreeEntry>& ordered,
+                        LevelOrder order,
+                        PageCategory leaf_category = PageCategory::kRTreeLeaf);
+
+}  // namespace flat
+
+#endif  // FLAT_RTREE_PACK_H_

@@ -1,0 +1,146 @@
+#include "rtree/rtree.h"
+
+#include <cassert>
+#include <queue>
+
+namespace flat {
+
+void RTree::RangeQuery(BufferPool* pool, const Aabb& query,
+                       std::vector<uint64_t>* out) const {
+  if (empty() || query.IsEmpty()) return;
+  std::vector<PageId> stack = {root_};
+  while (!stack.empty()) {
+    PageId id = stack.back();
+    stack.pop_back();
+    NodeView node(pool->Read(id));
+    for (uint16_t i = 0; i < node.count(); ++i) {
+      RTreeEntry e = node.EntryAt(i);
+      if (!e.box.Intersects(query)) continue;
+      if (node.is_leaf()) {
+        out->push_back(e.id);
+      } else {
+        stack.push_back(static_cast<PageId>(e.id));
+      }
+    }
+  }
+}
+
+size_t RTree::RangeCount(BufferPool* pool, const Aabb& query) const {
+  std::vector<uint64_t> ids;
+  RangeQuery(pool, query, &ids);
+  return ids.size();
+}
+
+void RTree::SphereQuery(BufferPool* pool, const Vec3& center, double radius,
+                        std::vector<uint64_t>* out) const {
+  if (empty() || radius < 0.0) return;
+  std::vector<PageId> stack = {root_};
+  while (!stack.empty()) {
+    PageId id = stack.back();
+    stack.pop_back();
+    NodeView node(pool->Read(id));
+    for (uint16_t i = 0; i < node.count(); ++i) {
+      RTreeEntry e = node.EntryAt(i);
+      if (!e.box.IntersectsSphere(center, radius)) continue;
+      if (node.is_leaf()) {
+        out->push_back(e.id);
+      } else {
+        stack.push_back(static_cast<PageId>(e.id));
+      }
+    }
+  }
+}
+
+std::optional<RTreeEntry> RTree::FindAny(BufferPool* pool,
+                                         const Aabb& query) const {
+  if (empty() || query.IsEmpty()) return std::nullopt;
+  // Explicit DFS stack; children are pushed in reverse slot order so the
+  // first intersecting child is explored first, matching the "follow one
+  // path, backtrack only on dead ends" behavior the paper describes.
+  std::vector<PageId> stack = {root_};
+  while (!stack.empty()) {
+    PageId id = stack.back();
+    stack.pop_back();
+    NodeView node(pool->Read(id));
+    if (node.is_leaf()) {
+      for (uint16_t i = 0; i < node.count(); ++i) {
+        RTreeEntry e = node.EntryAt(i);
+        if (e.box.Intersects(query)) return e;
+      }
+      continue;
+    }
+    for (int i = node.count() - 1; i >= 0; --i) {
+      RTreeEntry e = node.EntryAt(static_cast<uint16_t>(i));
+      if (e.box.Intersects(query)) {
+        stack.push_back(static_cast<PageId>(e.id));
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<RTreeEntry> RTree::KnnQuery(BufferPool* pool, const Vec3& center,
+                                        size_t k) const {
+  std::vector<RTreeEntry> result;
+  if (empty() || k == 0) return result;
+
+  // Best-first search over a min-heap keyed by box-to-point distance. Heap
+  // items are either nodes (to expand) or leaf entries (to emit); when a
+  // leaf entry surfaces, no unexpanded box can be closer.
+  struct Item {
+    double distance2;
+    bool is_entry;
+    PageId page;       // when !is_entry
+    RTreeEntry entry;  // when is_entry
+  };
+  auto cmp = [](const Item& a, const Item& b) {
+    return a.distance2 > b.distance2;
+  };
+  std::priority_queue<Item, std::vector<Item>, decltype(cmp)> heap(cmp);
+  heap.push(Item{0.0, false, root_, {}});
+
+  while (!heap.empty() && result.size() < k) {
+    const Item item = heap.top();
+    heap.pop();
+    if (item.is_entry) {
+      result.push_back(item.entry);
+      continue;
+    }
+    NodeView node(pool->Read(item.page));
+    for (uint16_t i = 0; i < node.count(); ++i) {
+      const RTreeEntry e = node.EntryAt(i);
+      const double d2 = e.box.DistanceSquaredTo(center);
+      if (node.is_leaf()) {
+        heap.push(Item{d2, true, kInvalidPageId, e});
+      } else {
+        heap.push(Item{d2, false, static_cast<PageId>(e.id), {}});
+      }
+    }
+  }
+  return result;
+}
+
+RTree::TreeStats RTree::ComputeStats() const {
+  TreeStats stats;
+  if (empty()) return stats;
+  stats.height = height_;
+  std::vector<PageId> stack = {root_};
+  while (!stack.empty()) {
+    PageId id = stack.back();
+    stack.pop_back();
+    NodeView node(file_->Data(id));
+    if (node.is_leaf()) {
+      ++stats.leaf_pages;
+      stats.leaf_entries += node.count();
+      stats.total_leaf_volume += node.Bounds().Volume();
+    } else {
+      ++stats.internal_pages;
+      for (uint16_t i = 0; i < node.count(); ++i) {
+        stack.push_back(static_cast<PageId>(node.IdAt(i)));
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace flat

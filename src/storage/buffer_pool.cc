@@ -1,0 +1,40 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace flat {
+
+BufferPool::BufferPool(const PageFile* file, IoStats* stats,
+                       size_t capacity_pages)
+    : file_(file), stats_(stats), capacity_pages_(capacity_pages) {
+  assert(file_ != nullptr);
+  assert(stats_ != nullptr);
+}
+
+const char* BufferPool::Read(PageId id) {
+  auto it = cache_.find(id);
+  if (it != cache_.end()) {
+    ++hits_;
+    recency_.splice(recency_.begin(), recency_, it->second);
+    return file_->Data(id);
+  }
+
+  ++misses_;
+  stats_->RecordRead(file_->category(id));
+
+  if (capacity_pages_ > 0 && cache_.size() >= capacity_pages_) {
+    PageId victim = recency_.back();
+    recency_.pop_back();
+    cache_.erase(victim);
+  }
+  recency_.push_front(id);
+  cache_[id] = recency_.begin();
+  return file_->Data(id);
+}
+
+void BufferPool::Clear() {
+  recency_.clear();
+  cache_.clear();
+}
+
+}  // namespace flat

@@ -1,0 +1,64 @@
+#ifndef FLAT_STORAGE_BUFFER_POOL_H_
+#define FLAT_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "storage/io_stats.h"
+#include "storage/page_file.h"
+
+namespace flat {
+
+/// LRU page cache in front of a PageFile.
+///
+/// A `Read` that misses the cache counts one page read (in the page's
+/// category) against the attached IoStats; hits are free, mirroring the OS
+/// buffer cache of the paper's testbed. `Clear()` empties the cache —
+/// the paper clears OS caches and disk buffers before every query, and the
+/// benchmark harness does the same through this method.
+class BufferPool {
+ public:
+  /// `capacity_pages` bounds the number of cached pages (0 means unbounded).
+  BufferPool(const PageFile* file, IoStats* stats, size_t capacity_pages = 0);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Fetches a page, charging a read on miss. The returned pointer is valid
+  /// until the page is evicted or the pool is cleared; callers must not hold
+  /// it across further Read calls unless the pool is unbounded.
+  const char* Read(PageId id);
+
+  /// Drops every cached page (cold cache).
+  void Clear();
+
+  /// True if the page is currently cached (test hook; does not touch LRU
+  /// order or counters).
+  bool IsCached(PageId id) const { return cache_.contains(id); }
+
+  size_t cached_pages() const { return cache_.size(); }
+  size_t capacity_pages() const { return capacity_pages_; }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+  IoStats* stats() { return stats_; }
+  const PageFile& file() const { return *file_; }
+
+ private:
+  const PageFile* file_;
+  IoStats* stats_;
+  size_t capacity_pages_;
+
+  // MRU at front. The map holds iterators into the recency list.
+  std::list<PageId> recency_;
+  std::unordered_map<PageId, std::list<PageId>::iterator> cache_;
+
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace flat
+
+#endif  // FLAT_STORAGE_BUFFER_POOL_H_

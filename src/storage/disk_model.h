@@ -1,0 +1,59 @@
+#ifndef FLAT_STORAGE_DISK_MODEL_H_
+#define FLAT_STORAGE_DISK_MODEL_H_
+
+#include <cstdint>
+
+#include "storage/io_stats.h"
+
+namespace flat {
+
+/// Analytic disk cost model translating page reads into simulated elapsed
+/// time.
+///
+/// The paper's testbed is a stripe of four 10k-RPM SAS disks; its query-time
+/// plots (Figures 13 and 17) track the page-read plots because execution is
+/// 97.8–98.8 % I/O-bound (Section VII-E.2). We therefore model query time as
+///
+///   time = reads * (seek + rotational latency + transfer) + cpu_overhead
+///
+/// with defaults for a single 10k-RPM SAS disk reading cold 4 KiB pages:
+/// ~3.5 ms average seek, ~3 ms average rotational latency, negligible 4 KiB
+/// transfer at ~100 MB/s. Absolute numbers are not the reproduction target;
+/// the model exists so the "time" figures can be regenerated with the same
+/// shape as the "page reads" figures.
+class DiskModel {
+ public:
+  struct Params {
+    double seek_ms = 3.5;
+    double rotational_ms = 3.0;
+    double transfer_mb_per_s = 100.0;
+    /// Fraction of total time spent on CPU (paper: 1.2–2.2 %).
+    double cpu_fraction = 0.02;
+  };
+
+  DiskModel() : DiskModel(Params{}) {}
+  explicit DiskModel(const Params& params) : params_(params) {}
+
+  /// Simulated milliseconds for one random cold read of `page_size` bytes.
+  double PageReadMs(uint32_t page_size) const {
+    double transfer_ms =
+        page_size / (params_.transfer_mb_per_s * 1e6) * 1e3;
+    return params_.seek_ms + params_.rotational_ms + transfer_ms;
+  }
+
+  /// Simulated elapsed milliseconds for a workload that performed the reads
+  /// recorded in `stats` against pages of `page_size` bytes.
+  double ElapsedMs(const IoStats& stats, uint32_t page_size) const {
+    double io_ms = stats.TotalReads() * PageReadMs(page_size);
+    return io_ms / (1.0 - params_.cpu_fraction);
+  }
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace flat
+
+#endif  // FLAT_STORAGE_DISK_MODEL_H_

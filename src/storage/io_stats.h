@@ -1,0 +1,59 @@
+#ifndef FLAT_STORAGE_IO_STATS_H_
+#define FLAT_STORAGE_IO_STATS_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "storage/page.h"
+
+namespace flat {
+
+/// Per-category page-read counters. All query-time experiments in the paper
+/// report either total page reads or a per-category breakdown; every index in
+/// this repository performs reads through a BufferPool that charges misses
+/// here, so FLAT and the R-Tree baselines are accounted identically.
+class IoStats {
+ public:
+  void RecordRead(PageCategory category) {
+    ++reads_[static_cast<size_t>(category)];
+  }
+
+  uint64_t ReadsIn(PageCategory category) const {
+    return reads_[static_cast<size_t>(category)];
+  }
+
+  uint64_t TotalReads() const {
+    uint64_t total = 0;
+    for (uint64_t r : reads_) total += r;
+    return total;
+  }
+
+  /// Total bytes fetched assuming `page_size` bytes per read.
+  uint64_t BytesRead(uint32_t page_size) const {
+    return TotalReads() * page_size;
+  }
+
+  void Reset() { reads_.fill(0); }
+
+  IoStats& operator+=(const IoStats& other) {
+    for (size_t i = 0; i < reads_.size(); ++i) reads_[i] += other.reads_[i];
+    return *this;
+  }
+
+  /// Difference since a snapshot (for per-query accounting).
+  IoStats DeltaSince(const IoStats& snapshot) const {
+    IoStats delta;
+    for (size_t i = 0; i < reads_.size(); ++i) {
+      delta.reads_[i] = reads_[i] - snapshot.reads_[i];
+    }
+    return delta;
+  }
+
+ private:
+  std::array<uint64_t, kNumPageCategories> reads_{};
+};
+
+}  // namespace flat
+
+#endif  // FLAT_STORAGE_IO_STATS_H_

@@ -1,0 +1,38 @@
+#ifndef FLAT_STORAGE_PAGE_H_
+#define FLAT_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace flat {
+
+/// Identifier of a disk page within a PageFile.
+using PageId = uint32_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
+
+/// Default page size. The paper's setup stores "data on the disk in 4K pages"
+/// and uses 4K nodes for all trees.
+inline constexpr uint32_t kDefaultPageSize = 4096;
+
+/// Role of a page inside an index; used by IoStats to break page reads down
+/// exactly like the paper's Figures 14 and 18 (seed-tree / metadata / object
+/// pages for FLAT, non-leaf / leaf pages for the R-Trees).
+enum class PageCategory : uint8_t {
+  kRTreeInternal = 0,  ///< R-Tree non-leaf node.
+  kRTreeLeaf,          ///< R-Tree leaf node holding element MBRs.
+  kSeedInternal,       ///< FLAT seed-tree non-leaf node.
+  kSeedLeaf,           ///< FLAT seed-tree leaf holding metadata records.
+  kObject,             ///< FLAT object page holding element MBRs.
+  kOther,              ///< Anything else (scratch, superblocks...).
+};
+
+inline constexpr int kNumPageCategories = 6;
+
+/// Human-readable category name for reports.
+const char* PageCategoryName(PageCategory category);
+
+}  // namespace flat
+
+#endif  // FLAT_STORAGE_PAGE_H_

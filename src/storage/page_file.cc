@@ -1,0 +1,56 @@
+#include "storage/page_file.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace flat {
+
+const char* PageCategoryName(PageCategory category) {
+  switch (category) {
+    case PageCategory::kRTreeInternal:
+      return "rtree-internal";
+    case PageCategory::kRTreeLeaf:
+      return "rtree-leaf";
+    case PageCategory::kSeedInternal:
+      return "seed-internal";
+    case PageCategory::kSeedLeaf:
+      return "seed-leaf";
+    case PageCategory::kObject:
+      return "object";
+    case PageCategory::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+PageFile::PageFile(uint32_t page_size) : page_size_(page_size) {
+  assert(page_size_ >= 64);
+}
+
+PageId PageFile::Allocate(PageCategory category) {
+  auto page = std::make_unique<char[]>(page_size_);
+  std::memset(page.get(), 0, page_size_);
+  pages_.push_back(std::move(page));
+  categories_.push_back(category);
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+char* PageFile::MutableData(PageId id) {
+  assert(id < pages_.size());
+  return pages_[id].get();
+}
+
+const char* PageFile::Data(PageId id) const {
+  assert(id < pages_.size());
+  return pages_[id].get();
+}
+
+size_t PageFile::PageCountIn(PageCategory category) const {
+  size_t n = 0;
+  for (PageCategory c : categories_) {
+    if (c == category) ++n;
+  }
+  return n;
+}
+
+}  // namespace flat

@@ -1,0 +1,60 @@
+#ifndef FLAT_STORAGE_PAGE_FILE_H_
+#define FLAT_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace flat {
+
+/// A simulated disk: a growable array of fixed-size pages tagged with a
+/// PageCategory.
+///
+/// Index *construction* writes pages directly (bulkloading is measured by
+/// wall-clock time, as in the paper's Figure 10); *query execution* must go
+/// through a BufferPool, which is where page reads are counted. Keeping the
+/// data in memory while accounting I/O at page granularity reproduces the
+/// paper's cold-cache methodology without a physical SAS array — see
+/// DESIGN.md §3.
+class PageFile {
+ public:
+  explicit PageFile(uint32_t page_size = kDefaultPageSize);
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Appends a zeroed page and returns its id.
+  PageId Allocate(PageCategory category);
+
+  /// Raw mutable access for writers (no I/O accounting; building an index is
+  /// not a query).
+  char* MutableData(PageId id);
+
+  /// Raw read access. Query code must not call this directly — use
+  /// BufferPool::Read so the access is charged.
+  const char* Data(PageId id) const;
+
+  PageCategory category(PageId id) const { return categories_[id]; }
+
+  uint32_t page_size() const { return page_size_; }
+
+  /// Number of allocated pages.
+  size_t page_count() const { return pages_.size(); }
+
+  /// Number of allocated pages in a given category.
+  size_t PageCountIn(PageCategory category) const;
+
+  /// Total simulated on-disk size in bytes.
+  uint64_t SizeBytes() const { return pages_.size() * uint64_t{page_size_}; }
+
+ private:
+  uint32_t page_size_;
+  std::vector<std::unique_ptr<char[]>> pages_;
+  std::vector<PageCategory> categories_;
+};
+
+}  // namespace flat
+
+#endif  // FLAT_STORAGE_PAGE_FILE_H_

@@ -1,0 +1,71 @@
+#include "storage/persistence.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace flat {
+namespace {
+
+constexpr char kMagic[8] = {'F', 'L', 'A', 'T', 'P', 'G', 'F', '1'};
+
+void WriteU32(std::ostream& out, uint32_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+uint32_t ReadU32(std::istream& in) {
+  uint32_t value = 0;
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in) throw std::runtime_error("LoadPageFile: truncated header");
+  return value;
+}
+
+}  // namespace
+
+void SavePageFile(const PageFile& file, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  WriteU32(out, file.page_size());
+  WriteU32(out, static_cast<uint32_t>(file.page_count()));
+  for (PageId id = 0; id < file.page_count(); ++id) {
+    const uint8_t category = static_cast<uint8_t>(file.category(id));
+    out.write(reinterpret_cast<const char*>(&category), 1);
+  }
+  for (PageId id = 0; id < file.page_count(); ++id) {
+    out.write(file.Data(id), file.page_size());
+  }
+  if (!out) throw std::runtime_error("SavePageFile: write failed");
+}
+
+std::unique_ptr<PageFile> LoadPageFile(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("LoadPageFile: bad magic (not a FLAT page file "
+                             "or unsupported version)");
+  }
+  const uint32_t page_size = ReadU32(in);
+  const uint32_t page_count = ReadU32(in);
+  if (page_size < 64 || page_size > (64u << 20)) {
+    throw std::runtime_error("LoadPageFile: implausible page size");
+  }
+
+  std::vector<uint8_t> categories(page_count);
+  in.read(reinterpret_cast<char*>(categories.data()), page_count);
+  if (!in) throw std::runtime_error("LoadPageFile: truncated category table");
+
+  auto file = std::make_unique<PageFile>(page_size);
+  for (uint32_t i = 0; i < page_count; ++i) {
+    if (categories[i] >= kNumPageCategories) {
+      throw std::runtime_error("LoadPageFile: invalid page category");
+    }
+    const PageId id =
+        file->Allocate(static_cast<PageCategory>(categories[i]));
+    in.read(file->MutableData(id), page_size);
+    if (!in) throw std::runtime_error("LoadPageFile: truncated page data");
+  }
+  return file;
+}
+
+}  // namespace flat

@@ -1,0 +1,31 @@
+#ifndef FLAT_STORAGE_PERSISTENCE_H_
+#define FLAT_STORAGE_PERSISTENCE_H_
+
+#include <iosfwd>
+#include <memory>
+
+#include "storage/page_file.h"
+
+namespace flat {
+
+/// Binary serialization of a simulated disk.
+///
+/// The paper's workloads bulkload once and query many times across sessions
+/// ("the models ... change only slowly, if at all"); persisting the PageFile
+/// plus a small index descriptor (FlatIndex::Descriptor, or an RTree's
+/// root/height pair) is all that is needed to reopen an index.
+///
+/// Format (little-endian):
+///   magic "FLATPGF1" | u32 page_size | u32 page_count |
+///   u8 category[page_count] | page bytes (page_count * page_size)
+///
+/// The format is versioned via the magic; readers reject unknown magics and
+/// truncated streams by throwing std::runtime_error.
+void SavePageFile(const PageFile& file, std::ostream& out);
+
+/// Reads a PageFile previously written by SavePageFile.
+std::unique_ptr<PageFile> LoadPageFile(std::istream& in);
+
+}  // namespace flat
+
+#endif  // FLAT_STORAGE_PERSISTENCE_H_

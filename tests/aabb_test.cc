@@ -1,0 +1,138 @@
+#include "geometry/aabb.h"
+
+#include <gtest/gtest.h>
+
+namespace flat {
+namespace {
+
+TEST(AabbTest, DefaultIsEmpty) {
+  Aabb box;
+  EXPECT_TRUE(box.IsEmpty());
+  EXPECT_EQ(box.Volume(), 0.0);
+  EXPECT_EQ(box.SurfaceArea(), 0.0);
+  EXPECT_EQ(box.Margin(), 0.0);
+}
+
+TEST(AabbTest, PointBoxIsNotEmpty) {
+  Aabb box = Aabb::FromPoint(Vec3(1, 2, 3));
+  EXPECT_FALSE(box.IsEmpty());
+  EXPECT_EQ(box.Volume(), 0.0);
+  EXPECT_TRUE(box.Contains(Vec3(1, 2, 3)));
+  EXPECT_FALSE(box.Contains(Vec3(1, 2, 3.0001)));
+}
+
+TEST(AabbTest, FromCornersNormalizesOrder) {
+  Aabb box = Aabb::FromCorners(Vec3(5, 0, 2), Vec3(1, 3, -2));
+  EXPECT_EQ(box.lo(), Vec3(1, 0, -2));
+  EXPECT_EQ(box.hi(), Vec3(5, 3, 2));
+}
+
+TEST(AabbTest, VolumeSurfaceMargin) {
+  Aabb box(Vec3(0, 0, 0), Vec3(2, 3, 4));
+  EXPECT_DOUBLE_EQ(box.Volume(), 24.0);
+  EXPECT_DOUBLE_EQ(box.SurfaceArea(), 2.0 * (6 + 12 + 8));
+  EXPECT_DOUBLE_EQ(box.Margin(), 9.0);
+  EXPECT_EQ(box.Center(), Vec3(1, 1.5, 2));
+  EXPECT_EQ(box.Extents(), Vec3(2, 3, 4));
+}
+
+TEST(AabbTest, LongestAxis) {
+  EXPECT_EQ(Aabb(Vec3(0, 0, 0), Vec3(5, 1, 1)).LongestAxis(), 0);
+  EXPECT_EQ(Aabb(Vec3(0, 0, 0), Vec3(1, 5, 1)).LongestAxis(), 1);
+  EXPECT_EQ(Aabb(Vec3(0, 0, 0), Vec3(1, 1, 5)).LongestAxis(), 2);
+}
+
+TEST(AabbTest, IntersectsIsClosedInterval) {
+  Aabb a(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  Aabb face(Vec3(1, 0, 0), Vec3(2, 1, 1));   // shares a face
+  Aabb edge(Vec3(1, 1, 0), Vec3(2, 2, 1));   // shares an edge
+  Aabb corner(Vec3(1, 1, 1), Vec3(2, 2, 2)); // shares a corner
+  Aabb apart(Vec3(1.01, 0, 0), Vec3(2, 1, 1));
+  EXPECT_TRUE(a.Intersects(face));
+  EXPECT_TRUE(a.Intersects(edge));
+  EXPECT_TRUE(a.Intersects(corner));
+  EXPECT_FALSE(a.Intersects(apart));
+  // Symmetry.
+  EXPECT_TRUE(face.Intersects(a));
+  EXPECT_FALSE(apart.Intersects(a));
+}
+
+TEST(AabbTest, EmptyNeverIntersects) {
+  Aabb empty;
+  Aabb box(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  EXPECT_FALSE(empty.Intersects(box));
+  EXPECT_FALSE(box.Intersects(empty));
+  EXPECT_FALSE(empty.Intersects(empty));
+}
+
+TEST(AabbTest, Containment) {
+  Aabb outer(Vec3(0, 0, 0), Vec3(10, 10, 10));
+  Aabb inner(Vec3(2, 2, 2), Vec3(3, 3, 3));
+  EXPECT_TRUE(outer.Contains(inner));
+  EXPECT_FALSE(inner.Contains(outer));
+  EXPECT_TRUE(outer.Contains(outer));
+  // Every box contains the empty box; the empty box contains nothing.
+  EXPECT_TRUE(outer.Contains(Aabb()));
+  EXPECT_FALSE(Aabb().Contains(inner));
+}
+
+TEST(AabbTest, UnionAndExpand) {
+  Aabb a(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  Aabb b(Vec3(2, -1, 0), Vec3(3, 0.5, 2));
+  Aabb u = Aabb::Union(a, b);
+  EXPECT_EQ(u.lo(), Vec3(0, -1, 0));
+  EXPECT_EQ(u.hi(), Vec3(3, 1, 2));
+  // Union with empty is identity.
+  EXPECT_EQ(Aabb::Union(a, Aabb()), a);
+  EXPECT_EQ(Aabb::Union(Aabb(), a), a);
+
+  Aabb c = a;
+  c.ExpandToInclude(Vec3(5, 5, 5));
+  EXPECT_EQ(c.hi(), Vec3(5, 5, 5));
+}
+
+TEST(AabbTest, Intersection) {
+  Aabb a(Vec3(0, 0, 0), Vec3(4, 4, 4));
+  Aabb b(Vec3(2, 2, 2), Vec3(6, 6, 6));
+  Aabb i = Aabb::Intersection(a, b);
+  EXPECT_EQ(i.lo(), Vec3(2, 2, 2));
+  EXPECT_EQ(i.hi(), Vec3(4, 4, 4));
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(b), 8.0);
+  // Disjoint boxes intersect in the empty box.
+  EXPECT_TRUE(
+      Aabb::Intersection(a, Aabb(Vec3(9, 9, 9), Vec3(10, 10, 10))).IsEmpty());
+}
+
+TEST(AabbTest, Enlargement) {
+  Aabb a(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  EXPECT_DOUBLE_EQ(a.Enlargement(a), 0.0);
+  Aabb b(Vec3(0, 0, 0), Vec3(2, 1, 1));
+  EXPECT_DOUBLE_EQ(a.Enlargement(b), 1.0);
+}
+
+TEST(AabbTest, Inflated) {
+  Aabb a(Vec3(1, 1, 1), Vec3(2, 2, 2));
+  Aabb grown = a.Inflated(0.5);
+  EXPECT_EQ(grown.lo(), Vec3(0.5, 0.5, 0.5));
+  EXPECT_EQ(grown.hi(), Vec3(2.5, 2.5, 2.5));
+  EXPECT_TRUE(Aabb().Inflated(1.0).IsEmpty());
+}
+
+TEST(AabbTest, EqualityTreatsAllEmptyAsEqual) {
+  Aabb e1;
+  Aabb e2 = Aabb::Intersection(Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)),
+                               Aabb(Vec3(5, 5, 5), Vec3(6, 6, 6)));
+  EXPECT_EQ(e1, e2);
+  EXPECT_NE(e1, Aabb::FromPoint(Vec3()));
+}
+
+TEST(AabbTest, DegenerateBoxesIntersectProperly) {
+  // A zero-thickness box (plane patch) still intersects what it touches.
+  Aabb plane(Vec3(0, 0, 1), Vec3(2, 2, 1));
+  Aabb cube(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  EXPECT_TRUE(plane.Intersects(cube));
+  EXPECT_FALSE(plane.Intersects(Aabb(Vec3(0, 0, 1.5), Vec3(1, 1, 2))));
+}
+
+}  // namespace
+}  // namespace flat

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "benchutil/contender.h"
+#include "benchutil/flags.h"
+#include "benchutil/sweep.h"
+#include "benchutil/table.h"
+#include "data/query_generator.h"
+#include "tests/test_util.h"
+
+namespace flat {
+namespace {
+
+TEST(TableTest, PrintsAlignedColumns) {
+  Table table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22222"});
+  std::ostringstream oss;
+  table.Print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table table({"a", "b"});
+  table.AddRow({"1", "2"});
+  std::ostringstream oss;
+  table.PrintCsv(oss);
+  EXPECT_EQ(oss.str(), "a,b\n1,2\n");
+}
+
+TEST(FormatTest, Numbers) {
+  EXPECT_EQ(FormatNumber(1.5), "1.5");
+  EXPECT_EQ(FormatNumber(2.0), "2.0");
+  EXPECT_EQ(FormatNumber(0.125, 3), "0.125");
+}
+
+TEST(FormatTest, Bytes) {
+  EXPECT_EQ(FormatBytes(512), "512.0 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KiB");
+  EXPECT_EQ(FormatBytes(3u << 20), "3.0 MiB");
+}
+
+TEST(FlagsTest, ParsesKeyValuePairs) {
+  const char* argv[] = {"prog", "--scale=0.5", "--queries=17", "--seed=9",
+                        "--csv"};
+  BenchFlags flags(5, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(flags.scale(), 0.5);
+  EXPECT_EQ(flags.queries(), 17u);
+  EXPECT_EQ(flags.seed(), 9u);
+  EXPECT_TRUE(flags.csv());
+  EXPECT_EQ(flags.Scaled(1000), 500u);
+  EXPECT_EQ(flags.Scaled(1, 1), 1u) << "minimum enforced";
+}
+
+TEST(FlagsTest, DefaultsWithoutFlags) {
+  const char* argv[] = {"prog"};
+  BenchFlags flags(1, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(flags.scale(), 1.0);
+  EXPECT_EQ(flags.queries(), 200u);
+  EXPECT_FALSE(flags.csv());
+}
+
+TEST(SweepTest, DensityCountsScale) {
+  const char* argv[] = {"prog", "--scale=0.1"};
+  BenchFlags flags(2, const_cast<char**>(argv));
+  auto counts = DensitySweepCounts(flags, 50000, 9);
+  ASSERT_EQ(counts.size(), 9u);
+  EXPECT_EQ(counts[0], 5000u);
+  EXPECT_EQ(counts[8], 45000u);
+}
+
+TEST(ContenderTest, AllKindsBuildAndAnswerQueries) {
+  const auto entries = testing::RandomEntries(2000, 121);
+  const Aabb q(Vec3(20, 20, 20), Vec3(50, 50, 50));
+  const auto oracle = testing::BruteForce(entries, q);
+
+  for (IndexKind kind :
+       {IndexKind::kHilbert, IndexKind::kStr, IndexKind::kMorton,
+        IndexKind::kPrTree, IndexKind::kTgs, IndexKind::kRStar,
+        IndexKind::kFlat}) {
+    Contender contender = BuildContender(kind, entries);
+    EXPECT_GT(contender.total_pages(), 0u) << IndexKindName(kind);
+    IoStats stats;
+    BufferPool pool(contender.file.get(), &stats);
+    std::vector<uint64_t> got;
+    contender.RangeQuery(&pool, q, &got);
+    EXPECT_EQ(testing::Sorted(got), oracle) << IndexKindName(kind);
+  }
+}
+
+TEST(ContenderTest, RunWorkloadAggregates) {
+  const auto entries = testing::RandomEntries(3000, 122);
+  Contender contender = BuildContender(IndexKind::kFlat, entries);
+  auto queries = testing::RandomQueries(10, 123);
+  DiskModel disk;
+  WorkloadResult result = RunWorkload(contender, queries, disk);
+  uint64_t expected_results = 0;
+  for (const Aabb& q : queries) {
+    expected_results += testing::BruteForce(entries, q).size();
+  }
+  EXPECT_EQ(result.result_elements, expected_results);
+  EXPECT_GT(result.io.TotalReads(), 0u);
+  EXPECT_GT(result.simulated_ms, 0.0);
+}
+
+TEST(ContenderTest, ColdCachePerQueryMakesReadsAdditive) {
+  const auto entries = testing::RandomEntries(3000, 124);
+  Contender contender = BuildContender(IndexKind::kStr, entries);
+  DiskModel disk;
+  const Aabb q(Vec3(10, 10, 10), Vec3(30, 30, 30));
+  auto one = RunWorkload(contender, {q}, disk);
+  auto twice = RunWorkload(contender, {q, q}, disk);
+  EXPECT_EQ(twice.io.TotalReads(), 2 * one.io.TotalReads())
+      << "cache must be cleared between queries";
+}
+
+}  // namespace
+}  // namespace flat

@@ -1,0 +1,87 @@
+// Cross-configuration correctness sweep: every bulkload strategy (and FLAT)
+// must match the oracle at every page size, on data sets chosen to stress
+// different code paths (uniform boxes, fibers, clusters). This is the broad
+// safety net behind the page-size ablation bench.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "benchutil/contender.h"
+#include "data/nbody_generator.h"
+#include "data/neuron_generator.h"
+#include "data/query_generator.h"
+#include "tests/test_util.h"
+
+namespace flat {
+namespace {
+
+Dataset MakeData(const std::string& which) {
+  if (which == "fibers") {
+    NeuronParams p;
+    p.total_elements = 6000;
+    p.seed = 601;
+    return GenerateNeurons(p);
+  }
+  if (which == "clusters") {
+    NBodyParams p;
+    p.count = 6000;
+    p.clusters = 12;
+    p.seed = 602;
+    return GenerateNBody(p);
+  }
+  Dataset d;
+  d.name = "uniform";
+  d.elements = testing::RandomEntries(6000, 603);
+  d.bounds = Aabb(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  return d;
+}
+
+using Param = std::tuple<IndexKind, uint32_t, std::string>;
+
+class CrossConfigTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(CrossConfigTest, OracleAgreement) {
+  const auto [kind, page_size, which] = GetParam();
+  Dataset dataset = MakeData(which);
+  Contender contender = BuildContender(kind, dataset.elements, page_size);
+
+  IoStats stats;
+  BufferPool pool(contender.file.get(), &stats);
+
+  RangeWorkloadParams wp;
+  wp.count = 8;
+  wp.volume_fraction = 5e-4;
+  wp.seed = 604;
+  for (const Aabb& q : GenerateRangeWorkload(dataset.bounds, wp)) {
+    std::vector<uint64_t> got;
+    contender.RangeQuery(&pool, q, &got);
+    EXPECT_EQ(testing::Sorted(got), dataset.BruteForceRange(q))
+        << IndexKindName(kind) << " page=" << page_size << " on " << which;
+  }
+  // A full-universe query must return everything exactly once.
+  std::vector<uint64_t> all;
+  contender.RangeQuery(&pool, dataset.bounds.Inflated(1.0), &all);
+  EXPECT_EQ(all.size(), dataset.size());
+  auto sorted = testing::Sorted(all);
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategiesTimesPageSizesTimesData, CrossConfigTest,
+    ::testing::Combine(
+        ::testing::Values(IndexKind::kStr, IndexKind::kHilbert,
+                          IndexKind::kPrTree, IndexKind::kFlat),
+        ::testing::Values(512u, 1024u, 4096u, 16384u),
+        ::testing::Values(std::string("uniform"), std::string("fibers"),
+                          std::string("clusters"))),
+    [](const auto& info) {
+      std::string name = std::string(IndexKindName(std::get<0>(info.param))) +
+                         "_p" + std::to_string(std::get<1>(info.param)) +
+                         "_" + std::get<2>(info.param);
+      std::erase_if(name, [](char c) { return !std::isalnum(c) && c != '_'; });
+      return name;
+    });
+
+}  // namespace
+}  // namespace flat

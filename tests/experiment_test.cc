@@ -1,0 +1,89 @@
+#include "benchutil/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace flat {
+namespace {
+
+BenchFlags TinyFlags() {
+  // 2% of the default scale and few queries: the sweep builds 9 data sets
+  // of 1k..9k elements — fast enough for a unit test.
+  static const char* argv[] = {"test", "--scale=0.02", "--queries=10",
+                               "--seed=99"};
+  return BenchFlags(4, const_cast<char**>(argv));
+}
+
+TEST(DensitySweepTest, ProducesOnePointPerDensityWithAllKinds) {
+  SweepOptions options;
+  options.volume_fraction = kSnVolumeFraction;
+  options.kinds = {IndexKind::kFlat, IndexKind::kStr};
+  const auto points = RunDensitySweep(TinyFlags(), options);
+  ASSERT_EQ(points.size(), 9u);
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].elements, 1000u * (i + 1));
+    ASSERT_TRUE(points[i].by_kind.contains(IndexKind::kFlat));
+    ASSERT_TRUE(points[i].by_kind.contains(IndexKind::kStr));
+  }
+}
+
+TEST(DensitySweepTest, QueriesProduceIdenticalResultsAcrossKinds) {
+  SweepOptions options;
+  options.volume_fraction = kLssVolumeFraction;
+  options.kinds = {IndexKind::kFlat, IndexKind::kStr, IndexKind::kHilbert};
+  const auto points = RunDensitySweep(TinyFlags(), options);
+  for (const DensityPoint& p : points) {
+    const uint64_t reference =
+        p.by_kind.at(IndexKind::kFlat).workload.result_elements;
+    for (const auto& [kind, result] : p.by_kind) {
+      EXPECT_EQ(result.workload.result_elements, reference)
+          << IndexKindName(kind) << " at " << p.elements;
+    }
+  }
+}
+
+TEST(DensitySweepTest, BuildOnlySweepSkipsQueries) {
+  SweepOptions options;
+  options.volume_fraction = 0.0;
+  options.kinds = {IndexKind::kStr};
+  const auto points = RunDensitySweep(TinyFlags(), options);
+  for (const DensityPoint& p : points) {
+    const KindResult& r = p.by_kind.at(IndexKind::kStr);
+    EXPECT_EQ(r.workload.io.TotalReads(), 0u);
+    EXPECT_GT(r.build_seconds, 0.0);
+    EXPECT_GT(r.size_bytes, 0u);
+    EXPECT_GT(r.tree_stats.leaf_pages, 0u);
+  }
+}
+
+TEST(DensitySweepTest, PointQueryModeUsesDegenerateBoxes) {
+  SweepOptions options;
+  options.point_queries = true;
+  options.volume_fraction = 1.0;
+  options.kinds = {IndexKind::kStr};
+  const auto points = RunDensitySweep(TinyFlags(), options);
+  for (const DensityPoint& p : points) {
+    // Point queries must incur reads but typically return few elements.
+    const auto& workload = p.by_kind.at(IndexKind::kStr).workload;
+    EXPECT_GT(workload.io.TotalReads(), 0u);
+  }
+}
+
+TEST(DensitySweepTest, PageCountsBrokenDownByCategory) {
+  SweepOptions options;
+  options.volume_fraction = 0.0;
+  options.kinds = {IndexKind::kFlat};
+  const auto points = RunDensitySweep(TinyFlags(), options);
+  for (const DensityPoint& p : points) {
+    const KindResult& r = p.by_kind.at(IndexKind::kFlat);
+    const uint64_t object =
+        r.pages_in[static_cast<int>(PageCategory::kObject)];
+    const uint64_t seed_leaf =
+        r.pages_in[static_cast<int>(PageCategory::kSeedLeaf)];
+    EXPECT_EQ(object, r.flat_stats.object_pages);
+    EXPECT_EQ(seed_leaf, r.flat_stats.seed_leaf_pages);
+    EXPECT_EQ(r.pages_in[static_cast<int>(PageCategory::kRTreeLeaf)], 0u);
+  }
+}
+
+}  // namespace
+}  // namespace flat

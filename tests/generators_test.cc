@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/mesh_generator.h"
+#include "data/nbody_generator.h"
+#include "data/neuron_generator.h"
+#include "data/uniform_generator.h"
+
+namespace flat {
+namespace {
+
+TEST(NeuronGeneratorTest, ProducesExactCountInsideVolume) {
+  NeuronParams params;
+  params.total_elements = 5000;
+  Dataset d = GenerateNeurons(params);
+  EXPECT_EQ(d.size(), 5000u);
+  // Cylinder caps can poke slightly past the wall after reflection, by at
+  // most a segment length + radius; centers stay essentially inside.
+  const Aabb roomy = d.bounds.Inflated(2.0 * params.segment_length_um);
+  for (const auto& e : d.elements) {
+    EXPECT_TRUE(roomy.Contains(e.box)) << e.box;
+  }
+}
+
+TEST(NeuronGeneratorTest, DeterministicForSameSeed) {
+  NeuronParams params;
+  params.total_elements = 1000;
+  params.seed = 5;
+  Dataset a = GenerateNeurons(params);
+  Dataset b = GenerateNeurons(params);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.elements[i].box, b.elements[i].box);
+    EXPECT_EQ(a.elements[i].id, b.elements[i].id);
+  }
+  params.seed = 6;
+  Dataset c = GenerateNeurons(params);
+  bool any_different = false;
+  for (size_t i = 0; i < a.size() && !any_different; ++i) {
+    any_different = a.elements[i].box != c.elements[i].box;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(NeuronGeneratorTest, ElementsAreElongatedFibers) {
+  NeuronParams params;
+  params.total_elements = 2000;
+  Dataset d = GenerateNeurons(params);
+  // Cylinders should be longer than thick on average (fiber-like).
+  double mean_max_over_min = 0.0;
+  for (const auto& e : d.elements) {
+    Vec3 ext = e.box.Extents();
+    double mx = std::max({ext.x, ext.y, ext.z});
+    double mn = std::min({ext.x, ext.y, ext.z});
+    mean_max_over_min += mx / std::max(mn, 1e-9);
+  }
+  mean_max_over_min /= d.size();
+  EXPECT_GT(mean_max_over_min, 1.3);
+}
+
+TEST(NeuronGeneratorTest, DensityGrowsWithElementCountAtFixedVolume) {
+  NeuronParams params;
+  params.total_elements = 1000;
+  Dataset sparse = GenerateNeurons(params);
+  params.total_elements = 9000;
+  Dataset dense = GenerateNeurons(params);
+  EXPECT_EQ(sparse.bounds, dense.bounds) << "volume must stay constant";
+  EXPECT_EQ(dense.size(), 9u * sparse.size());
+}
+
+TEST(NeuronGeneratorTest, ZeroElements) {
+  NeuronParams params;
+  params.total_elements = 0;
+  EXPECT_EQ(GenerateNeurons(params).size(), 0u);
+}
+
+TEST(UniformGeneratorTest, CubesHaveRequestedSide) {
+  UniformBoxParams params;
+  params.count = 100;
+  params.shape = BoxShapeMode::kCube;
+  params.side_um = 4.0;
+  Dataset d = GenerateUniformBoxes(params);
+  ASSERT_EQ(d.size(), 100u);
+  for (const auto& e : d.elements) {
+    EXPECT_NEAR(e.box.Extents().x, 4.0, 1e-12);
+    EXPECT_NEAR(e.box.Extents().y, 4.0, 1e-12);
+    EXPECT_NEAR(e.box.Extents().z, 4.0, 1e-12);
+  }
+}
+
+TEST(UniformGeneratorTest, FixedVolumeRandomAspectPreservesVolume) {
+  UniformBoxParams params;
+  params.count = 500;
+  params.shape = BoxShapeMode::kFixedVolumeRandomAspect;
+  params.element_volume_um3 = 18.0;
+  Dataset d = GenerateUniformBoxes(params);
+  double min_aspect = 1e9, max_aspect = 0;
+  for (const auto& e : d.elements) {
+    EXPECT_NEAR(e.box.Volume(), 18.0, 1e-9);
+    Vec3 ext = e.box.Extents();
+    const double aspect =
+        std::max({ext.x, ext.y, ext.z}) / std::min({ext.x, ext.y, ext.z});
+    min_aspect = std::min(min_aspect, aspect);
+    max_aspect = std::max(max_aspect, aspect);
+  }
+  EXPECT_LT(min_aspect, 1.5) << "some near-cubes expected";
+  EXPECT_GT(max_aspect, 3.0) << "some elongated boxes expected";
+}
+
+TEST(UniformGeneratorTest, UniformSidesWithinRange) {
+  UniformBoxParams params;
+  params.count = 200;
+  params.shape = BoxShapeMode::kUniformSides;
+  params.min_side_um = 2.0;
+  params.max_side_um = 10.0;
+  Dataset d = GenerateUniformBoxes(params);
+  for (const auto& e : d.elements) {
+    Vec3 ext = e.box.Extents();
+    for (int axis = 0; axis < 3; ++axis) {
+      EXPECT_GE(ext[axis], 2.0 - 1e-9);
+      EXPECT_LE(ext[axis], 10.0 + 1e-9);
+    }
+  }
+}
+
+TEST(MeshGeneratorTest, TriangleCountsNearTarget) {
+  for (MeshKind kind :
+       {MeshKind::kNoisySphere, MeshKind::kFoldedSheet, MeshKind::kStatue}) {
+    MeshParams params;
+    params.kind = kind;
+    params.target_triangles = 20000;
+    Dataset d = GenerateMesh(params);
+    EXPECT_GT(d.size(), 10000u) << static_cast<int>(kind);
+    EXPECT_LT(d.size(), 60000u) << static_cast<int>(kind);
+    EXPECT_FALSE(d.bounds.IsEmpty());
+  }
+}
+
+TEST(MeshGeneratorTest, TrianglesAreSmallRelativeToModel) {
+  MeshParams params;
+  params.target_triangles = 30000;
+  Dataset d = GenerateMesh(params);
+  const double model_diag = d.bounds.Extents().Norm();
+  for (size_t i = 0; i < d.size(); i += 100) {
+    EXPECT_LT(d.elements[i].box.Extents().Norm(), model_diag / 10.0);
+  }
+}
+
+TEST(MeshGeneratorTest, FoldedSheetIsConcave) {
+  // The folded sheet must have a large bounding-volume-to-surface footprint:
+  // elements fill only a thin, folded subset of their bounding box.
+  MeshParams params;
+  params.kind = MeshKind::kFoldedSheet;
+  params.target_triangles = 20000;
+  Dataset d = GenerateMesh(params);
+  double element_volume_sum = 0.0;
+  for (const auto& e : d.elements) element_volume_sum += e.box.Volume();
+  EXPECT_LT(element_volume_sum, 0.5 * d.bounds.Volume());
+}
+
+TEST(NBodyGeneratorTest, CountAndBounds) {
+  NBodyParams params;
+  params.count = 5000;
+  Dataset d = GenerateNBody(params);
+  EXPECT_EQ(d.size(), 5000u);
+  for (const auto& e : d.elements) {
+    EXPECT_TRUE(d.bounds.Inflated(params.particle_radius).Contains(e.box));
+  }
+}
+
+TEST(NBodyGeneratorTest, ClusteredDataIsSkewed) {
+  // With clustering, the densest octant should hold far more than 1/8 of the
+  // particles... not necessarily one octant; instead compare the particle
+  // count inside small balls around cluster centers vs. random locations.
+  NBodyParams params;
+  params.count = 20000;
+  params.clusters = 8;
+  params.background_fraction = 0.05;
+  Dataset d = GenerateNBody(params);
+
+  // Measure concentration: fraction of particles inside the 64 densest
+  // cells of a 16^3 grid. Uniform data would have ~64/4096 = 1.6 %.
+  const int g = 16;
+  std::vector<int> cells(g * g * g, 0);
+  const Vec3 lo = d.bounds.lo();
+  const Vec3 ext = d.bounds.Extents();
+  for (const auto& e : d.elements) {
+    Vec3 c = e.box.Center();
+    int ix = std::min(g - 1, static_cast<int>((c.x - lo.x) / ext.x * g));
+    int iy = std::min(g - 1, static_cast<int>((c.y - lo.y) / ext.y * g));
+    int iz = std::min(g - 1, static_cast<int>((c.z - lo.z) / ext.z * g));
+    cells[(ix * g + iy) * g + iz]++;
+  }
+  std::sort(cells.rbegin(), cells.rend());
+  int top64 = 0;
+  for (int i = 0; i < 64; ++i) top64 += cells[i];
+  EXPECT_GT(static_cast<double>(top64) / d.size(), 0.3)
+      << "n-body data should be strongly clustered";
+}
+
+TEST(GeneratorDeterminismTest, AllGeneratorsDeterministic) {
+  UniformBoxParams up;
+  up.count = 50;
+  EXPECT_EQ(GenerateUniformBoxes(up).elements[17].box,
+            GenerateUniformBoxes(up).elements[17].box);
+  MeshParams mp;
+  mp.target_triangles = 1000;
+  EXPECT_EQ(GenerateMesh(mp).elements[13].box,
+            GenerateMesh(mp).elements[13].box);
+  NBodyParams np;
+  np.count = 50;
+  EXPECT_EQ(GenerateNBody(np).elements[11].box,
+            GenerateNBody(np).elements[11].box);
+}
+
+}  // namespace
+}  // namespace flat

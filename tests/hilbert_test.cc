@@ -1,0 +1,116 @@
+#include "geometry/hilbert.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+namespace flat {
+namespace {
+
+TEST(Hilbert3DTest, OneBitCurveVisitsAllCorners) {
+  std::set<uint64_t> seen;
+  for (uint32_t x = 0; x < 2; ++x) {
+    for (uint32_t y = 0; y < 2; ++y) {
+      for (uint32_t z = 0; z < 2; ++z) {
+        uint64_t d = Hilbert3D::Encode(x, y, z, 1);
+        EXPECT_LT(d, 8u);
+        seen.insert(d);
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 8u);  // bijection on the 2x2x2 cube
+}
+
+TEST(Hilbert3DTest, EncodeDecodeRoundTrip) {
+  for (int bits : {1, 2, 3, 5, 8}) {
+    const uint32_t n = 1u << bits;
+    for (uint32_t x = 0; x < n; x += std::max(1u, n / 8)) {
+      for (uint32_t y = 0; y < n; y += std::max(1u, n / 8)) {
+        for (uint32_t z = 0; z < n; z += std::max(1u, n / 8)) {
+          uint64_t d = Hilbert3D::Encode(x, y, z, bits);
+          uint32_t rx, ry, rz;
+          Hilbert3D::Decode(d, bits, &rx, &ry, &rz);
+          EXPECT_EQ(rx, x) << "bits=" << bits;
+          EXPECT_EQ(ry, y);
+          EXPECT_EQ(rz, z);
+        }
+      }
+    }
+  }
+}
+
+TEST(Hilbert3DTest, CurveIsContinuous) {
+  // Consecutive indices decode to cells at L1 distance exactly 1 — the
+  // defining property of a Hilbert curve (and what makes consecutive
+  // elements spatially close when packed).
+  const int bits = 4;
+  const uint64_t total = 1ull << (3 * bits);
+  uint32_t px = 0, py = 0, pz = 0;
+  Hilbert3D::Decode(0, bits, &px, &py, &pz);
+  for (uint64_t d = 1; d < total; ++d) {
+    uint32_t x, y, z;
+    Hilbert3D::Decode(d, bits, &x, &y, &z);
+    const int l1 = std::abs(static_cast<int>(x) - static_cast<int>(px)) +
+                   std::abs(static_cast<int>(y) - static_cast<int>(py)) +
+                   std::abs(static_cast<int>(z) - static_cast<int>(pz));
+    ASSERT_EQ(l1, 1) << "discontinuity at d=" << d;
+    px = x;
+    py = y;
+    pz = z;
+  }
+}
+
+TEST(Hilbert3DTest, BijectionAtThreeBits) {
+  const int bits = 3;
+  const uint64_t total = 1ull << (3 * bits);
+  std::vector<bool> seen(total, false);
+  for (uint32_t x = 0; x < (1u << bits); ++x) {
+    for (uint32_t y = 0; y < (1u << bits); ++y) {
+      for (uint32_t z = 0; z < (1u << bits); ++z) {
+        uint64_t d = Hilbert3D::Encode(x, y, z, bits);
+        ASSERT_LT(d, total);
+        ASSERT_FALSE(seen[d]) << "collision at d=" << d;
+        seen[d] = true;
+      }
+    }
+  }
+}
+
+TEST(Hilbert3DTest, EncodePointClampsAndQuantizes) {
+  Aabb bounds(Vec3(0, 0, 0), Vec3(10, 10, 10));
+  // Inside, outside (clamped), and corner points all produce valid keys.
+  const uint64_t inside = Hilbert3D::EncodePoint(Vec3(5, 5, 5), bounds, 8);
+  const uint64_t low_clamped =
+      Hilbert3D::EncodePoint(Vec3(-100, 5, 5), bounds, 8);
+  const uint64_t low_exact = Hilbert3D::EncodePoint(Vec3(0, 5, 5), bounds, 8);
+  EXPECT_EQ(low_clamped, low_exact);
+  EXPECT_NE(inside, low_exact);
+  const uint64_t hi_corner =
+      Hilbert3D::EncodePoint(Vec3(10, 10, 10), bounds, 8);
+  EXPECT_LT(hi_corner, 1ull << 24);
+}
+
+TEST(Hilbert3DTest, DegenerateBoundsAxisQuantizesToZero) {
+  Aabb flat_bounds(Vec3(0, 0, 0), Vec3(10, 0, 10));  // zero-extent y
+  const uint64_t k = Hilbert3D::EncodePoint(Vec3(5, 0, 5), flat_bounds, 8);
+  (void)k;  // must not crash or divide by zero
+  SUCCEED();
+}
+
+TEST(Hilbert3DTest, NearbyPointsGetNearbyKeys) {
+  // Locality smoke test: the average key distance of adjacent cells must be
+  // far below that of random pairs.
+  Aabb bounds(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  const uint64_t a = Hilbert3D::EncodePoint(Vec3(0.500, 0.5, 0.5), bounds, 10);
+  const uint64_t b = Hilbert3D::EncodePoint(Vec3(0.501, 0.5, 0.5), bounds, 10);
+  const uint64_t far = Hilbert3D::EncodePoint(Vec3(0.95, 0.1, 0.9), bounds, 10);
+  const auto dist = [](uint64_t x, uint64_t y) {
+    return x > y ? x - y : y - x;
+  };
+  EXPECT_LT(dist(a, b), dist(a, far));
+}
+
+}  // namespace
+}  // namespace flat

@@ -1,0 +1,85 @@
+#include "rtree/mem_rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geometry/rng.h"
+#include "tests/test_util.h"
+
+namespace flat {
+namespace {
+
+std::vector<uint32_t> BruteForceIndices(const std::vector<Aabb>& boxes,
+                                        const Aabb& query) {
+  std::vector<uint32_t> out;
+  for (uint32_t i = 0; i < boxes.size(); ++i) {
+    if (boxes[i].Intersects(query)) out.push_back(i);
+  }
+  return out;
+}
+
+TEST(MemRTreeTest, EmptyTree) {
+  MemRTree tree;
+  std::vector<uint32_t> out;
+  tree.Query(Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)), &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(MemRTreeTest, SingleBox) {
+  MemRTree tree({Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1))});
+  std::vector<uint32_t> out;
+  tree.Query(Aabb(Vec3(0.5, 0.5, 0.5), Vec3(2, 2, 2)), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0u);
+  out.clear();
+  tree.Query(Aabb(Vec3(5, 5, 5), Vec3(6, 6, 6)), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MemRTreeTest, MatchesBruteForce) {
+  auto entries = testing::RandomEntries(3000, 71);
+  std::vector<Aabb> boxes;
+  for (const auto& e : entries) boxes.push_back(e.box);
+  MemRTree tree(boxes);
+  for (const Aabb& q : testing::RandomQueries(60, 72)) {
+    std::vector<uint32_t> got;
+    tree.Query(q, &got);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, BruteForceIndices(boxes, q));
+  }
+}
+
+TEST(MemRTreeTest, VariousFanouts) {
+  auto entries = testing::RandomEntries(500, 73);
+  std::vector<Aabb> boxes;
+  for (const auto& e : entries) boxes.push_back(e.box);
+  for (int fanout : {2, 3, 8, 64, 1000}) {
+    MemRTree tree(boxes, fanout);
+    std::vector<uint32_t> got;
+    tree.Query(Aabb(Vec3(20, 20, 20), Vec3(60, 60, 60)), &got);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got,
+              BruteForceIndices(boxes, Aabb(Vec3(20, 20, 20),
+                                            Vec3(60, 60, 60))))
+        << "fanout=" << fanout;
+  }
+}
+
+TEST(MemRTreeTest, TouchingBoxesAreReported) {
+  // Face-adjacency must count as intersection: FLAT's neighbor computation
+  // depends on it.
+  std::vector<Aabb> boxes = {
+      Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)),
+      Aabb(Vec3(1, 0, 0), Vec3(2, 1, 1)),  // shares a face with box 0
+  };
+  MemRTree tree(boxes);
+  std::vector<uint32_t> got;
+  tree.Query(boxes[0], &got);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<uint32_t>{0, 1}));
+}
+
+}  // namespace
+}  // namespace flat

@@ -1,0 +1,58 @@
+#include "geometry/morton.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace flat {
+namespace {
+
+TEST(Morton3DTest, KnownInterleavings) {
+  EXPECT_EQ(Morton3D::Encode(0, 0, 0), 0u);
+  EXPECT_EQ(Morton3D::Encode(1, 0, 0), 0b001u);
+  EXPECT_EQ(Morton3D::Encode(0, 1, 0), 0b010u);
+  EXPECT_EQ(Morton3D::Encode(0, 0, 1), 0b100u);
+  EXPECT_EQ(Morton3D::Encode(1, 1, 1), 0b111u);
+  EXPECT_EQ(Morton3D::Encode(2, 0, 0), 0b001000u);
+  EXPECT_EQ(Morton3D::Encode(3, 5, 1), // x=011 y=101 z=001
+            // bit0: x=1,y=1,z=1 -> 111; bit1: x=1,y=0,z=0 -> 001;
+            // bit2: x=0,y=1,z=0 -> 010
+            0b010'001'111u);
+}
+
+TEST(Morton3DTest, EncodeDecodeRoundTrip) {
+  for (uint32_t x : {0u, 1u, 7u, 100u, 4095u, (1u << 21) - 1}) {
+    for (uint32_t y : {0u, 3u, 512u, (1u << 21) - 1}) {
+      for (uint32_t z : {0u, 9u, 77777u}) {
+        uint64_t code = Morton3D::Encode(x, y, z);
+        uint32_t rx, ry, rz;
+        Morton3D::Decode(code, &rx, &ry, &rz);
+        EXPECT_EQ(rx, x);
+        EXPECT_EQ(ry, y);
+        EXPECT_EQ(rz, z);
+      }
+    }
+  }
+}
+
+TEST(Morton3DTest, BijectionAtTwoBits) {
+  std::set<uint64_t> seen;
+  for (uint32_t x = 0; x < 4; ++x) {
+    for (uint32_t y = 0; y < 4; ++y) {
+      for (uint32_t z = 0; z < 4; ++z) {
+        seen.insert(Morton3D::Encode(x, y, z, 2));
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(Morton3DTest, EncodePointMatchesManualQuantization) {
+  Aabb bounds(Vec3(0, 0, 0), Vec3(8, 8, 8));
+  // With 3 bits, cell size is 1; point (1.5, 2.5, 3.5) -> cell (1, 2, 3).
+  EXPECT_EQ(Morton3D::EncodePoint(Vec3(1.5, 2.5, 3.5), bounds, 3),
+            Morton3D::Encode(1, 2, 3, 3));
+}
+
+}  // namespace
+}  // namespace flat

@@ -1,0 +1,116 @@
+#include "rtree/pack.h"
+
+#include <gtest/gtest.h>
+
+#include "rtree/node.h"
+#include "tests/test_util.h"
+
+namespace flat {
+namespace {
+
+using testing::RandomEntries;
+
+TEST(StrOrderTest, SmallInputUnchangedInSize) {
+  auto entries = RandomEntries(10, 1);
+  auto copy = entries;
+  StrOrder(&entries, 73);
+  EXPECT_EQ(entries.size(), copy.size());
+}
+
+TEST(StrOrderTest, PreservesMultisetOfIds) {
+  auto entries = RandomEntries(1000, 2);
+  StrOrder(&entries, 16);
+  std::vector<uint64_t> ids;
+  for (const auto& e : entries) ids.push_back(e.id);
+  std::sort(ids.begin(), ids.end());
+  for (size_t i = 0; i < ids.size(); ++i) ASSERT_EQ(ids[i], i);
+}
+
+TEST(StrOrderTest, ConsecutiveRunsAreSpatiallyTight) {
+  // The mean volume of bounding boxes of consecutive capacity-sized runs
+  // must be far below that of random runs — that's STR's whole point.
+  auto entries = RandomEntries(2000, 3, /*max_side=*/0.5);
+  auto shuffled = entries;
+  const uint32_t cap = 16;
+
+  auto run_volume = [cap](const std::vector<RTreeEntry>& v) {
+    double total = 0.0;
+    size_t runs = 0;
+    for (size_t s = 0; s + cap <= v.size(); s += cap, ++runs) {
+      Aabb box;
+      for (size_t i = s; i < s + cap; ++i) box.ExpandToInclude(v[i].box);
+      total += box.Volume();
+    }
+    return total / runs;
+  };
+
+  StrOrder(&entries, cap);
+  EXPECT_LT(run_volume(entries), 0.2 * run_volume(shuffled));
+}
+
+TEST(PackLevelTest, PacksFullPagesInOrder) {
+  PageFile file(512);  // 9 slots per page
+  const uint32_t cap = NodeCapacity(512);
+  auto entries = RandomEntries(3 * cap + 2, 4);
+  auto parents = PackLevel(&file, entries, /*level=*/0);
+  ASSERT_EQ(parents.size(), 4u);
+  EXPECT_EQ(file.PageCountIn(PageCategory::kRTreeLeaf), 4u);
+
+  // Every parent box covers exactly its children.
+  size_t index = 0;
+  for (const RTreeEntry& parent : parents) {
+    NodeView node(file.Data(static_cast<PageId>(parent.id)));
+    EXPECT_EQ(node.level(), 0u);
+    Aabb expected;
+    for (uint16_t i = 0; i < node.count(); ++i) {
+      EXPECT_EQ(node.IdAt(i), entries[index].id);
+      expected.ExpandToInclude(node.BoxAt(i));
+      ++index;
+    }
+    EXPECT_EQ(parent.box, expected);
+  }
+  EXPECT_EQ(index, entries.size());
+}
+
+TEST(PackLevelTest, CategoryOverridesWork) {
+  PageFile file(512);
+  auto entries = RandomEntries(20, 5);
+  PackLevel(&file, entries, /*level=*/0, PageCategory::kObject);
+  EXPECT_GT(file.PageCountIn(PageCategory::kObject), 0u);
+  PackLevel(&file, entries, /*level=*/1, PageCategory::kRTreeLeaf,
+            PageCategory::kSeedInternal);
+  EXPECT_GT(file.PageCountIn(PageCategory::kSeedInternal), 0u);
+}
+
+TEST(PackOrderedLeavesTest, SingleLeafTree) {
+  PageFile file;
+  auto entries = RandomEntries(5, 6);
+  RTree tree = PackOrderedLeaves(&file, entries, LevelOrder::kStr);
+  EXPECT_EQ(tree.height(), 1);
+  auto stats = tree.ComputeStats();
+  EXPECT_EQ(stats.leaf_pages, 1u);
+  EXPECT_EQ(stats.internal_pages, 0u);
+  EXPECT_EQ(stats.leaf_entries, 5u);
+}
+
+TEST(PackOrderedLeavesTest, MultiLevelTreeHeights) {
+  PageFile file(512);  // 9 slots
+  const uint32_t cap = NodeCapacity(512);
+  // cap^2 + 1 entries forces height 3.
+  auto entries = RandomEntries(cap * cap + 1, 7);
+  RTree tree = PackOrderedLeaves(&file, entries, LevelOrder::kStr);
+  EXPECT_EQ(tree.height(), 3);
+  auto stats = tree.ComputeStats();
+  EXPECT_EQ(stats.leaf_entries, entries.size());
+  EXPECT_GT(stats.internal_pages, 0u);
+}
+
+TEST(PackOrderedLeavesTest, EmptyInputGivesEmptyTree) {
+  PageFile file;
+  RTree tree = PackOrderedLeaves(&file, {}, LevelOrder::kSequential);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(file.page_count(), 0u);
+}
+
+}  // namespace
+}  // namespace flat

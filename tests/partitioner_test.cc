@@ -1,0 +1,197 @@
+#include "core/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "tests/test_util.h"
+
+namespace flat {
+namespace {
+
+using testing::RandomEntries;
+
+Aabb UniverseOf(const std::vector<RTreeEntry>& entries) {
+  Aabb u;
+  for (const auto& e : entries) u.ExpandToInclude(e.box);
+  return u;
+}
+
+class PartitionerTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PartitionerTest, PartitionsCoverAllElementsExactlyOnce) {
+  auto entries = RandomEntries(GetParam(), 81);
+  const Aabb universe = UniverseOf(entries);
+  auto partitions = StrPartition(&entries, /*page_capacity=*/73, universe);
+
+  std::vector<bool> covered(entries.size(), false);
+  for (const auto& p : partitions) {
+    EXPECT_GT(p.count, 0u);
+    EXPECT_LE(p.count, 73u);
+    for (uint32_t i = 0; i < p.count; ++i) {
+      ASSERT_LT(p.first + i, entries.size());
+      ASSERT_FALSE(covered[p.first + i]) << "element assigned twice";
+      covered[p.first + i] = true;
+    }
+  }
+  EXPECT_TRUE(std::all_of(covered.begin(), covered.end(),
+                          [](bool b) { return b; }));
+}
+
+TEST_P(PartitionerTest, TilesLeaveNoEmptySpace) {
+  // Property 1 (Section V-B): the union of all partitions covers the entire
+  // space. We verify by sampling: every point of the universe lies in at
+  // least one tile.
+  auto entries = RandomEntries(GetParam(), 82);
+  const Aabb universe = UniverseOf(entries);
+  auto partitions = StrPartition(&entries, 73, universe);
+
+  Rng rng(83);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Vec3 p = rng.PointIn(universe);
+    bool inside_any = false;
+    for (const auto& partition : partitions) {
+      if (partition.tile.Contains(p)) {
+        inside_any = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(inside_any) << "uncovered point " << p;
+  }
+}
+
+TEST_P(PartitionerTest, PartitionMbrEnclosesPageMbr) {
+  // Property 2 (Section V-B): each partition MBR encloses the page MBR.
+  auto entries = RandomEntries(GetParam(), 84);
+  const Aabb universe = UniverseOf(entries);
+  auto partitions = StrPartition(&entries, 73, universe);
+  for (const auto& p : partitions) {
+    EXPECT_TRUE(p.partition_mbr.Contains(p.page_mbr));
+    EXPECT_TRUE(p.partition_mbr.Contains(p.tile));
+  }
+}
+
+TEST_P(PartitionerTest, ElementCentersLieInTheirTile) {
+  auto entries = RandomEntries(GetParam(), 85);
+  const Aabb universe = UniverseOf(entries);
+  auto partitions = StrPartition(&entries, 73, universe);
+  for (const auto& p : partitions) {
+    for (uint32_t i = 0; i < p.count; ++i) {
+      EXPECT_TRUE(p.tile.Contains(entries[p.first + i].box.Center()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PartitionerTest,
+                         ::testing::Values(1, 5, 73, 74, 500, 5000, 20000));
+
+TEST(PartitionerEdgeTest, EmptyInput) {
+  std::vector<RTreeEntry> entries;
+  auto partitions = StrPartition(&entries, 73, Aabb());
+  EXPECT_TRUE(partitions.empty());
+}
+
+TEST(PartitionerEdgeTest, AllElementsIdentical) {
+  std::vector<RTreeEntry> entries;
+  for (uint64_t i = 0; i < 300; ++i) {
+    entries.push_back(RTreeEntry{Aabb(Vec3(1, 1, 1), Vec3(2, 2, 2)), i});
+  }
+  const Aabb universe(Vec3(1, 1, 1), Vec3(2, 2, 2));
+  auto partitions = StrPartition(&entries, 73, universe);
+  size_t total = 0;
+  for (const auto& p : partitions) total += p.count;
+  EXPECT_EQ(total, entries.size());
+}
+
+TEST(NeighborTest, TwoTouchingPartitionsAreNeighbors) {
+  // 2 * capacity elements in two clearly separated clusters: the two tiles
+  // still share a boundary plane (no empty space allowed), so they must be
+  // mutual neighbors.
+  std::vector<RTreeEntry> entries;
+  Rng rng(86);
+  for (uint64_t i = 0; i < 8; ++i) {
+    const Vec3 c(rng.Uniform(0, 10), rng.Uniform(0, 10), rng.Uniform(0, 10));
+    entries.push_back(
+        RTreeEntry{Aabb::FromCenterHalfExtents(c, Vec3(0.1, 0.1, 0.1)), i});
+  }
+  for (uint64_t i = 8; i < 16; ++i) {
+    const Vec3 c(rng.Uniform(90, 100), rng.Uniform(0, 10),
+                 rng.Uniform(0, 10));
+    entries.push_back(
+        RTreeEntry{Aabb::FromCenterHalfExtents(c, Vec3(0.1, 0.1, 0.1)), i});
+  }
+  Aabb universe(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  auto partitions = StrPartition(&entries, 8, universe);
+  ASSERT_EQ(partitions.size(), 2u);
+  ComputeNeighbors(&partitions);
+  ASSERT_EQ(partitions[0].neighbors.size(), 1u);
+  ASSERT_EQ(partitions[1].neighbors.size(), 1u);
+  EXPECT_EQ(partitions[0].neighbors[0], 1u);
+  EXPECT_EQ(partitions[1].neighbors[0], 0u);
+}
+
+TEST(NeighborTest, RelationIsSymmetricAndIrreflexive) {
+  auto entries = RandomEntries(5000, 87);
+  const Aabb universe = UniverseOf(entries);
+  auto partitions = StrPartition(&entries, 73, universe);
+  ComputeNeighbors(&partitions);
+
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    const auto& nbrs = partitions[i].neighbors;
+    EXPECT_FALSE(std::binary_search(nbrs.begin(), nbrs.end(),
+                                    static_cast<uint32_t>(i)))
+        << "partition is its own neighbor";
+    for (uint32_t j : nbrs) {
+      const auto& back = partitions[j].neighbors;
+      EXPECT_TRUE(std::binary_search(back.begin(), back.end(),
+                                     static_cast<uint32_t>(i)))
+          << "asymmetric neighbor relation " << i << " -> " << j;
+    }
+  }
+  EXPECT_EQ(TotalNeighborPointers(partitions) % 2, 0u);
+}
+
+TEST(NeighborTest, TileAdjacencyGraphIsConnected) {
+  // Because tiles cover space with no gaps, the partition adjacency graph of
+  // any data set must be connected — the property that makes the crawl reach
+  // every page (even across concave "holes" in the data).
+  auto entries = RandomEntries(3000, 88);
+  const Aabb universe = UniverseOf(entries);
+  auto partitions = StrPartition(&entries, 73, universe);
+  ComputeNeighbors(&partitions);
+
+  std::vector<bool> visited(partitions.size(), false);
+  std::vector<uint32_t> stack = {0};
+  visited[0] = true;
+  size_t reached = 1;
+  while (!stack.empty()) {
+    uint32_t i = stack.back();
+    stack.pop_back();
+    for (uint32_t j : partitions[i].neighbors) {
+      if (!visited[j]) {
+        visited[j] = true;
+        ++reached;
+        stack.push_back(j);
+      }
+    }
+  }
+  EXPECT_EQ(reached, partitions.size());
+}
+
+TEST(NeighborTest, InflatingPartitionsIncreasesPointerCount) {
+  // Figure 21's mechanism: larger partitions => more intersections.
+  auto entries = RandomEntries(5000, 89);
+  const Aabb universe = UniverseOf(entries);
+  auto partitions = StrPartition(&entries, 73, universe);
+  ComputeNeighbors(&partitions);
+  const uint64_t baseline = TotalNeighborPointers(partitions);
+
+  auto inflated = partitions;
+  for (auto& p : inflated) p.partition_mbr = p.partition_mbr.Inflated(3.0);
+  ComputeNeighbors(&inflated);
+  EXPECT_GT(TotalNeighborPointers(inflated), baseline);
+}
+
+}  // namespace
+}  // namespace flat

@@ -1,0 +1,117 @@
+#include "storage/persistence.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/flat_index.h"
+#include "rtree/bulkload.h"
+#include "storage/buffer_pool.h"
+#include "tests/test_util.h"
+
+namespace flat {
+namespace {
+
+TEST(PersistenceTest, EmptyPageFileRoundTrip) {
+  PageFile file(2048);
+  std::stringstream stream;
+  SavePageFile(file, stream);
+  auto loaded = LoadPageFile(stream);
+  EXPECT_EQ(loaded->page_size(), 2048u);
+  EXPECT_EQ(loaded->page_count(), 0u);
+}
+
+TEST(PersistenceTest, PagesAndCategoriesSurvive) {
+  PageFile file(512);
+  PageId a = file.Allocate(PageCategory::kObject);
+  PageId b = file.Allocate(PageCategory::kSeedLeaf);
+  std::memcpy(file.MutableData(a), "alpha", 5);
+  std::memcpy(file.MutableData(b), "bravo", 5);
+
+  std::stringstream stream;
+  SavePageFile(file, stream);
+  auto loaded = LoadPageFile(stream);
+
+  ASSERT_EQ(loaded->page_count(), 2u);
+  EXPECT_EQ(loaded->category(a), PageCategory::kObject);
+  EXPECT_EQ(loaded->category(b), PageCategory::kSeedLeaf);
+  EXPECT_EQ(std::memcmp(loaded->Data(a), "alpha", 5), 0);
+  EXPECT_EQ(std::memcmp(loaded->Data(b), "bravo", 5), 0);
+}
+
+TEST(PersistenceTest, RejectsGarbageAndTruncation) {
+  std::stringstream garbage("this is not a page file at all");
+  EXPECT_THROW(LoadPageFile(garbage), std::runtime_error);
+
+  PageFile file;
+  file.Allocate(PageCategory::kObject);
+  std::stringstream stream;
+  SavePageFile(file, stream);
+  std::string bytes = stream.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_THROW(LoadPageFile(truncated), std::runtime_error);
+}
+
+TEST(PersistenceTest, FlatIndexSurvivesSaveLoadAttach) {
+  const auto entries = testing::RandomEntries(5000, 311);
+  PageFile file;
+  FlatIndex index = FlatIndex::Build(&file, entries);
+  const FlatIndex::Descriptor descriptor = index.descriptor();
+
+  std::stringstream stream;
+  SavePageFile(file, stream);
+  auto loaded = LoadPageFile(stream);
+  FlatIndex reopened = FlatIndex::Attach(loaded.get(), descriptor);
+
+  IoStats original_stats, reopened_stats;
+  BufferPool original_pool(&file, &original_stats);
+  BufferPool reopened_pool(loaded.get(), &reopened_stats);
+  for (const Aabb& q : testing::RandomQueries(30, 312)) {
+    std::vector<uint64_t> original, again;
+    original_pool.Clear();
+    index.RangeQuery(&original_pool, q, &original);
+    reopened_pool.Clear();
+    reopened.RangeQuery(&reopened_pool, q, &again);
+    EXPECT_EQ(testing::Sorted(again), testing::Sorted(original));
+  }
+  // Identical structure => identical I/O.
+  EXPECT_EQ(reopened_stats.TotalReads(), original_stats.TotalReads());
+}
+
+TEST(PersistenceTest, RTreeSurvivesSaveLoad) {
+  const auto entries = testing::RandomEntries(3000, 313);
+  PageFile file;
+  RTree tree = BulkloadPrTree(&file, entries);
+
+  std::stringstream stream;
+  SavePageFile(file, stream);
+  auto loaded = LoadPageFile(stream);
+  RTree reopened(loaded.get(), tree.root(), tree.height());
+
+  IoStats stats;
+  BufferPool pool(loaded.get(), &stats);
+  for (const Aabb& q : testing::RandomQueries(20, 314)) {
+    std::vector<uint64_t> got;
+    reopened.RangeQuery(&pool, q, &got);
+    EXPECT_EQ(testing::Sorted(got), testing::BruteForce(entries, q));
+  }
+}
+
+TEST(PersistenceTest, DescriptorIsTrivialToStoreExternally) {
+  // The descriptor is three plain fields; verify a manual round-trip (as a
+  // user persisting it in their own catalog would).
+  const auto entries = testing::RandomEntries(500, 315);
+  PageFile file;
+  FlatIndex index = FlatIndex::Build(&file, entries);
+  FlatIndex::Descriptor d = index.descriptor();
+  FlatIndex::Descriptor copy{d.seed_root, d.root_is_leaf, d.seed_height};
+  FlatIndex reopened = FlatIndex::Attach(&file, copy);
+  IoStats stats;
+  BufferPool pool(&file, &stats);
+  EXPECT_EQ(reopened.RangeCount(&pool, Aabb(Vec3(0, 0, 0),
+                                            Vec3(100, 100, 100))),
+            entries.size());
+}
+
+}  // namespace
+}  // namespace flat

@@ -1,0 +1,83 @@
+#include "data/query_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace flat {
+namespace {
+
+TEST(QueryGeneratorTest, VolumesMatchTargetFraction) {
+  Aabb universe(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  RangeWorkloadParams params;
+  params.count = 100;
+  params.volume_fraction = 1e-4;
+  auto queries = GenerateRangeWorkload(universe, params);
+  ASSERT_EQ(queries.size(), 100u);
+  const double target = universe.Volume() * params.volume_fraction;
+  for (const Aabb& q : queries) {
+    EXPECT_NEAR(q.Volume(), target, target * 1e-9);
+  }
+}
+
+TEST(QueryGeneratorTest, QueriesStayInsideUniverse) {
+  Aabb universe(Vec3(-10, 0, 5), Vec3(40, 90, 25));
+  RangeWorkloadParams params;
+  params.count = 200;
+  params.volume_fraction = 1e-3;
+  for (const Aabb& q : GenerateRangeWorkload(universe, params)) {
+    EXPECT_TRUE(universe.Contains(q)) << q;
+  }
+}
+
+TEST(QueryGeneratorTest, AspectRatiosVary) {
+  Aabb universe(Vec3(0, 0, 0), Vec3(1000, 1000, 1000));
+  RangeWorkloadParams params;
+  params.count = 300;
+  params.volume_fraction = 1e-6;
+  double min_aspect = 1e30, max_aspect = 0.0;
+  for (const Aabb& q : GenerateRangeWorkload(universe, params)) {
+    Vec3 ext = q.Extents();
+    const double aspect =
+        std::max({ext.x, ext.y, ext.z}) / std::min({ext.x, ext.y, ext.z});
+    min_aspect = std::min(min_aspect, aspect);
+    max_aspect = std::max(max_aspect, aspect);
+  }
+  EXPECT_LT(min_aspect, 2.0);
+  EXPECT_GT(max_aspect, 4.0);
+}
+
+TEST(QueryGeneratorTest, HugeFractionIsClampedToUniverse) {
+  Aabb universe(Vec3(0, 0, 0), Vec3(10, 10, 10));
+  RangeWorkloadParams params;
+  params.count = 10;
+  params.volume_fraction = 100.0;  // would exceed the universe
+  for (const Aabb& q : GenerateRangeWorkload(universe, params)) {
+    EXPECT_TRUE(universe.Contains(q));
+  }
+}
+
+TEST(QueryGeneratorTest, Deterministic) {
+  Aabb universe(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  RangeWorkloadParams params;
+  params.count = 20;
+  params.seed = 99;
+  auto a = GenerateRangeWorkload(universe, params);
+  auto b = GenerateRangeWorkload(universe, params);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  params.seed = 100;
+  auto c = GenerateRangeWorkload(universe, params);
+  EXPECT_NE(a[0], c[0]);
+}
+
+TEST(PointWorkloadTest, PointsInsideUniverse) {
+  Aabb universe(Vec3(5, 5, 5), Vec3(6, 6, 6));
+  auto points = GeneratePointWorkload(universe, 50, 7);
+  ASSERT_EQ(points.size(), 50u);
+  for (const Vec3& p : points) {
+    EXPECT_TRUE(universe.Contains(p));
+  }
+}
+
+}  // namespace
+}  // namespace flat

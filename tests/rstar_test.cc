@@ -1,0 +1,132 @@
+#include "rtree/rstar_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "rtree/bulkload.h"
+#include "rtree/node.h"
+#include "storage/buffer_pool.h"
+#include "tests/test_util.h"
+
+namespace flat {
+namespace {
+
+using testing::BruteForce;
+using testing::RandomEntries;
+using testing::RandomQueries;
+using testing::Sorted;
+
+TEST(RStarTest, SingleInsertQueryable) {
+  PageFile file;
+  RStarTree tree(&file);
+  tree.Insert(RTreeEntry{Aabb(Vec3(1, 1, 1), Vec3(2, 2, 2)), 7});
+  EXPECT_EQ(tree.size(), 1u);
+  IoStats stats;
+  BufferPool pool(&file, &stats);
+  std::vector<uint64_t> got;
+  tree.tree().RangeQuery(&pool, Aabb(Vec3(0, 0, 0), Vec3(3, 3, 3)), &got);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 7u);
+}
+
+TEST(RStarTest, MatchesBruteForceSmall) {
+  const auto entries = RandomEntries(300, 61);
+  PageFile file(512);  // small pages force plenty of splits
+  RStarTree tree(&file);
+  for (const auto& e : entries) tree.Insert(e);
+  EXPECT_EQ(tree.size(), entries.size());
+
+  IoStats stats;
+  BufferPool pool(&file, &stats);
+  for (const Aabb& q : RandomQueries(40, 62)) {
+    std::vector<uint64_t> got;
+    tree.tree().RangeQuery(&pool, q, &got);
+    EXPECT_EQ(Sorted(got), BruteForce(entries, q));
+  }
+}
+
+TEST(RStarTest, MatchesBruteForceLarge) {
+  const auto entries = RandomEntries(5000, 63);
+  PageFile file;
+  RStarTree tree(&file);
+  for (const auto& e : entries) tree.Insert(e);
+
+  IoStats stats;
+  BufferPool pool(&file, &stats);
+  for (const Aabb& q : RandomQueries(30, 64)) {
+    std::vector<uint64_t> got;
+    tree.tree().RangeQuery(&pool, q, &got);
+    EXPECT_EQ(Sorted(got), BruteForce(entries, q));
+  }
+}
+
+TEST(RStarTest, AllEntriesPresentAfterManySplits) {
+  const auto entries = RandomEntries(2000, 65);
+  PageFile file(512);
+  RStarTree tree(&file);
+  for (const auto& e : entries) tree.Insert(e);
+  auto stats = tree.tree().ComputeStats();
+  EXPECT_EQ(stats.leaf_entries, entries.size());
+  EXPECT_GE(tree.tree().height(), 3);
+}
+
+TEST(RStarTest, ParentBoxesEncloseChildren) {
+  const auto entries = RandomEntries(1500, 66);
+  PageFile file(512);
+  RStarTree tree(&file);
+  for (const auto& e : entries) tree.Insert(e);
+
+  // Walk the tree: every internal slot's box must equal the union of the
+  // child node's entry boxes.
+  RTree handle = tree.tree();
+  std::vector<PageId> stack = {handle.root()};
+  while (!stack.empty()) {
+    PageId page = stack.back();
+    stack.pop_back();
+    NodeView node(file.Data(page));
+    if (node.is_leaf()) continue;
+    for (uint16_t i = 0; i < node.count(); ++i) {
+      const PageId child = static_cast<PageId>(node.IdAt(i));
+      NodeView child_node(file.Data(child));
+      EXPECT_TRUE(node.BoxAt(i).Contains(child_node.Bounds()))
+          << "slot box does not cover child node " << child;
+      stack.push_back(child);
+    }
+  }
+}
+
+TEST(RStarTest, DuplicateBoxesSupported) {
+  PageFile file(512);
+  RStarTree tree(&file);
+  const Aabb box(Vec3(3, 3, 3), Vec3(4, 4, 4));
+  for (uint64_t i = 0; i < 200; ++i) {
+    tree.Insert(RTreeEntry{box, i});
+  }
+  IoStats stats;
+  BufferPool pool(&file, &stats);
+  std::vector<uint64_t> got;
+  tree.tree().RangeQuery(&pool, box, &got);
+  EXPECT_EQ(got.size(), 200u);
+}
+
+TEST(RStarTest, BulkloadedTreesHaveBetterUtilization) {
+  // The reason the paper compares only against bulkloaded trees.
+  const auto entries = RandomEntries(4000, 67);
+  PageFile rstar_file;
+  RStarTree rstar(&rstar_file);
+  for (const auto& e : entries) rstar.Insert(e);
+  PageFile str_file;
+  RTree str = BulkloadStr(&str_file, entries);
+
+  const double rstar_util =
+      static_cast<double>(entries.size()) /
+      (rstar.tree().ComputeStats().leaf_pages *
+       NodeCapacity(rstar_file.page_size()));
+  const double str_util =
+      static_cast<double>(entries.size()) /
+      (str.ComputeStats().leaf_pages * NodeCapacity(str_file.page_size()));
+  EXPECT_GT(str_util, 0.99);
+  EXPECT_LT(rstar_util, 0.95);
+}
+
+}  // namespace
+}  // namespace flat

@@ -1,0 +1,151 @@
+#include "rtree/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include "rtree/bulkload.h"
+#include "storage/buffer_pool.h"
+#include "tests/test_util.h"
+
+namespace flat {
+namespace {
+
+using testing::BruteForce;
+using testing::RandomEntries;
+using testing::RandomQueries;
+using testing::Sorted;
+
+class RTreeQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    entries_ = RandomEntries(4000, 31);
+    tree_ = BulkloadStr(&file_, entries_);
+  }
+
+  PageFile file_;
+  std::vector<RTreeEntry> entries_;
+  RTree tree_;
+};
+
+TEST_F(RTreeQueryTest, EmptyQueryBoxReturnsNothingAndReadsNothing) {
+  IoStats stats;
+  BufferPool pool(&file_, &stats);
+  std::vector<uint64_t> got;
+  tree_.RangeQuery(&pool, Aabb(), &got);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(stats.TotalReads(), 0u);
+}
+
+TEST_F(RTreeQueryTest, QueryOutsideUniverseReadsOnlyRoot) {
+  IoStats stats;
+  BufferPool pool(&file_, &stats);
+  std::vector<uint64_t> got;
+  tree_.RangeQuery(&pool, Aabb(Vec3(500, 500, 500), Vec3(501, 501, 501)),
+                   &got);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(stats.TotalReads(), 1u);
+}
+
+TEST_F(RTreeQueryTest, PointQueryMatchesBruteForce) {
+  IoStats stats;
+  BufferPool pool(&file_, &stats);
+  Rng rng(77);
+  Aabb universe(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  for (int i = 0; i < 50; ++i) {
+    const Vec3 p = rng.PointIn(universe);
+    const Aabb point_box = Aabb::FromPoint(p);
+    std::vector<uint64_t> got;
+    tree_.RangeQuery(&pool, point_box, &got);
+    EXPECT_EQ(Sorted(got), BruteForce(entries_, point_box));
+  }
+}
+
+TEST_F(RTreeQueryTest, RangeCountAgreesWithRangeQuery) {
+  IoStats stats;
+  BufferPool pool(&file_, &stats);
+  for (const Aabb& q : RandomQueries(20, 41)) {
+    std::vector<uint64_t> got;
+    tree_.RangeQuery(&pool, q, &got);
+    EXPECT_EQ(tree_.RangeCount(&pool, q), got.size());
+  }
+}
+
+TEST_F(RTreeQueryTest, FindAnyReturnsIntersectingEntry) {
+  IoStats stats;
+  BufferPool pool(&file_, &stats);
+  for (const Aabb& q : RandomQueries(50, 42)) {
+    auto oracle = BruteForce(entries_, q);
+    auto found = tree_.FindAny(&pool, q);
+    if (oracle.empty()) {
+      EXPECT_FALSE(found.has_value());
+    } else {
+      ASSERT_TRUE(found.has_value());
+      EXPECT_TRUE(found->box.Intersects(q));
+      EXPECT_TRUE(std::binary_search(oracle.begin(), oracle.end(),
+                                     found->id));
+    }
+  }
+}
+
+TEST_F(RTreeQueryTest, FindAnyIsCheapRelativeToRangeQuery) {
+  // The seed-phase property (Section V-B.1): finding one element costs on
+  // the order of the tree height, not the full overlap-afflicted traversal.
+  Aabb big(Vec3(10, 10, 10), Vec3(60, 60, 60));
+
+  IoStats find_stats;
+  BufferPool find_pool(&file_, &find_stats);
+  auto found = tree_.FindAny(&find_pool, big);
+  ASSERT_TRUE(found.has_value());
+
+  IoStats range_stats;
+  BufferPool range_pool(&file_, &range_stats);
+  std::vector<uint64_t> got;
+  tree_.RangeQuery(&range_pool, big, &got);
+
+  EXPECT_LT(find_stats.TotalReads(), range_stats.TotalReads() / 10);
+  EXPECT_LE(find_stats.TotalReads(),
+            static_cast<uint64_t>(4 * tree_.height()));
+}
+
+TEST_F(RTreeQueryTest, ComputeStatsCountsEverything) {
+  auto stats = tree_.ComputeStats();
+  EXPECT_EQ(stats.leaf_entries, entries_.size());
+  EXPECT_EQ(stats.leaf_pages + stats.internal_pages, file_.page_count());
+  EXPECT_EQ(stats.height, tree_.height());
+}
+
+TEST(RTreeEmptyTest, DefaultHandleBehavesAsEmpty) {
+  RTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.height(), 0);
+  auto stats = tree.ComputeStats();
+  EXPECT_EQ(stats.leaf_pages, 0u);
+  PageFile file;
+  IoStats io;
+  BufferPool pool(&file, &io);
+  EXPECT_FALSE(tree.FindAny(&pool, Aabb(Vec3(), Vec3(1, 1, 1))).has_value());
+}
+
+TEST(RTreeOverlapTest, DenserDataReadsMorePagesPerPointQuery) {
+  // The motivation experiment (Figure 2) in miniature: constant volume,
+  // growing element count => more overlap => more page reads per point
+  // query for bounding-box trees.
+  Rng rng(5);
+  Aabb universe(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  auto reads_at = [&](size_t count) {
+    auto entries = RandomEntries(count, 50, /*max_side=*/4.0);
+    PageFile file;
+    RTree tree = BulkloadHilbert(&file, entries);
+    IoStats stats;
+    BufferPool pool(&file, &stats);
+    for (int i = 0; i < 40; ++i) {
+      pool.Clear();
+      std::vector<uint64_t> got;
+      tree.RangeQuery(&pool, Aabb::FromPoint(rng.PointIn(universe)), &got);
+    }
+    return stats.TotalReads();
+  };
+  EXPECT_LT(reads_at(1000), reads_at(16000));
+}
+
+}  // namespace
+}  // namespace flat

@@ -1,0 +1,63 @@
+#include "geometry/shapes.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace flat {
+namespace {
+
+TEST(CylinderTest, BoundsEncloseBothCaps) {
+  Cylinder c{Vec3(0, 0, 0), Vec3(10, 0, 0), 1.0, 2.0};
+  Aabb box = c.Bounds();
+  EXPECT_LE(box.lo().x, -1.0);
+  EXPECT_GE(box.hi().x, 12.0);
+  EXPECT_LE(box.lo().y, -2.0);
+  EXPECT_GE(box.hi().y, 2.0);
+  // Axis endpoints are inside.
+  EXPECT_TRUE(box.Contains(c.a));
+  EXPECT_TRUE(box.Contains(c.b));
+}
+
+TEST(CylinderTest, AxisLength) {
+  Cylinder c{Vec3(0, 0, 0), Vec3(3, 4, 0), 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(c.AxisLength(), 5.0);
+}
+
+TEST(CylinderTest, VolumeMatchesUniformCylinder) {
+  // Equal radii: V = pi r^2 h.
+  Cylinder c{Vec3(0, 0, 0), Vec3(0, 0, 2), 3.0, 3.0};
+  EXPECT_NEAR(c.Volume(), std::numbers::pi * 9.0 * 2.0, 1e-9);
+}
+
+TEST(CylinderTest, VolumeOfConeIsOneThird) {
+  // One radius zero: V = pi r^2 h / 3.
+  Cylinder c{Vec3(0, 0, 0), Vec3(0, 0, 3), 2.0, 0.0};
+  EXPECT_NEAR(c.Volume(), std::numbers::pi * 4.0 * 3.0 / 3.0, 1e-9);
+}
+
+TEST(TriangleTest, BoundsAndArea) {
+  Triangle t{Vec3(0, 0, 0), Vec3(4, 0, 0), Vec3(0, 3, 0)};
+  Aabb box = t.Bounds();
+  EXPECT_EQ(box.lo(), Vec3(0, 0, 0));
+  EXPECT_EQ(box.hi(), Vec3(4, 3, 0));
+  EXPECT_DOUBLE_EQ(t.Area(), 6.0);
+  EXPECT_EQ(t.Centroid(), Vec3(4.0 / 3, 1.0, 0));
+}
+
+TEST(TriangleTest, DegenerateTriangleHasZeroArea) {
+  Triangle t{Vec3(0, 0, 0), Vec3(1, 1, 1), Vec3(2, 2, 2)};
+  EXPECT_DOUBLE_EQ(t.Area(), 0.0);
+  EXPECT_FALSE(t.Bounds().IsEmpty());
+}
+
+TEST(SphereTest, BoundsAndVolume) {
+  Sphere s{Vec3(1, 1, 1), 2.0};
+  Aabb box = s.Bounds();
+  EXPECT_EQ(box.lo(), Vec3(-1, -1, -1));
+  EXPECT_EQ(box.hi(), Vec3(3, 3, 3));
+  EXPECT_NEAR(s.Volume(), 4.0 / 3.0 * std::numbers::pi * 8.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace flat

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/flat_index.h"
+#include "rtree/bulkload.h"
+#include "storage/buffer_pool.h"
+#include "tests/test_util.h"
+
+namespace flat {
+namespace {
+
+std::vector<uint64_t> BruteForceSphere(const std::vector<RTreeEntry>& entries,
+                                       const Vec3& center, double radius) {
+  std::vector<uint64_t> out;
+  for (const RTreeEntry& e : entries) {
+    if (e.box.IntersectsSphere(center, radius)) out.push_back(e.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(AabbSphereTest, DistanceSquaredToPoint) {
+  Aabb box(Vec3(0, 0, 0), Vec3(2, 2, 2));
+  EXPECT_EQ(box.DistanceSquaredTo(Vec3(1, 1, 1)), 0.0);    // inside
+  EXPECT_EQ(box.DistanceSquaredTo(Vec3(2, 2, 2)), 0.0);    // on corner
+  EXPECT_EQ(box.DistanceSquaredTo(Vec3(3, 1, 1)), 1.0);    // face distance
+  EXPECT_EQ(box.DistanceSquaredTo(Vec3(3, 3, 1)), 2.0);    // edge distance
+  EXPECT_EQ(box.DistanceSquaredTo(Vec3(3, 3, 3)), 3.0);    // corner distance
+  EXPECT_EQ(box.DistanceSquaredTo(Vec3(-1, -1, -1)), 3.0);
+  EXPECT_TRUE(std::isinf(Aabb().DistanceSquaredTo(Vec3())));
+}
+
+TEST(AabbSphereTest, IntersectsSphereBoundary) {
+  Aabb box(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  // Ball touching the face exactly (closed ball => intersects).
+  EXPECT_TRUE(box.IntersectsSphere(Vec3(2, 0.5, 0.5), 1.0));
+  EXPECT_FALSE(box.IntersectsSphere(Vec3(2.001, 0.5, 0.5), 1.0));
+  // Ball centered inside.
+  EXPECT_TRUE(box.IntersectsSphere(Vec3(0.5, 0.5, 0.5), 0.01));
+  // Corner-diagonal reach: corner at distance sqrt(3) from (2,2,2).
+  EXPECT_TRUE(box.IntersectsSphere(Vec3(2, 2, 2), std::sqrt(3.0) + 1e-12));
+  EXPECT_FALSE(box.IntersectsSphere(Vec3(2, 2, 2), std::sqrt(3.0) - 1e-6));
+}
+
+class SphereQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    entries_ = testing::RandomEntries(4000, 301);
+    flat_ = FlatIndex::Build(&flat_file_, entries_);
+    rtree_ = BulkloadStr(&rtree_file_, entries_);
+  }
+
+  std::vector<RTreeEntry> entries_;
+  PageFile flat_file_;
+  PageFile rtree_file_;
+  FlatIndex flat_;
+  RTree rtree_;
+};
+
+TEST_F(SphereQueryTest, FlatMatchesBruteForce) {
+  IoStats stats;
+  BufferPool pool(&flat_file_, &stats);
+  Rng rng(302);
+  Aabb universe(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  for (int i = 0; i < 50; ++i) {
+    const Vec3 center = rng.PointIn(universe);
+    const double radius = rng.Uniform(0.1, 15.0);
+    std::vector<uint64_t> got;
+    flat_.SphereQuery(&pool, center, radius, &got);
+    EXPECT_EQ(testing::Sorted(got),
+              BruteForceSphere(entries_, center, radius));
+  }
+}
+
+TEST_F(SphereQueryTest, RTreeMatchesBruteForce) {
+  IoStats stats;
+  BufferPool pool(&rtree_file_, &stats);
+  Rng rng(303);
+  Aabb universe(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  for (int i = 0; i < 50; ++i) {
+    const Vec3 center = rng.PointIn(universe);
+    const double radius = rng.Uniform(0.1, 15.0);
+    std::vector<uint64_t> got;
+    rtree_.SphereQuery(&pool, center, radius, &got);
+    EXPECT_EQ(testing::Sorted(got),
+              BruteForceSphere(entries_, center, radius));
+  }
+}
+
+TEST_F(SphereQueryTest, SphereIsSubsetOfBoundingBoxQuery) {
+  IoStats stats;
+  BufferPool pool(&flat_file_, &stats);
+  const Vec3 center(50, 50, 50);
+  const double radius = 10.0;
+  std::vector<uint64_t> sphere, box;
+  flat_.SphereQuery(&pool, center, radius, &sphere);
+  flat_.RangeQuery(&pool,
+                   Aabb::FromCenterHalfExtents(center,
+                                               Vec3(radius, radius, radius)),
+                   &box);
+  auto s = testing::Sorted(sphere);
+  auto b = testing::Sorted(box);
+  EXPECT_LE(s.size(), b.size());
+  EXPECT_TRUE(std::includes(b.begin(), b.end(), s.begin(), s.end()));
+  EXPECT_LT(s.size(), b.size())
+      << "corner elements must be rejected by the exact sphere test";
+}
+
+TEST_F(SphereQueryTest, NegativeAndZeroRadius) {
+  IoStats stats;
+  BufferPool pool(&flat_file_, &stats);
+  std::vector<uint64_t> got;
+  flat_.SphereQuery(&pool, Vec3(50, 50, 50), -1.0, &got);
+  EXPECT_TRUE(got.empty());
+  // Zero radius == point probe; must equal the brute-force point result.
+  flat_.SphereQuery(&pool, Vec3(50, 50, 50), 0.0, &got);
+  EXPECT_EQ(testing::Sorted(got),
+            BruteForceSphere(entries_, Vec3(50, 50, 50), 0.0));
+}
+
+TEST_F(SphereQueryTest, SphereQueryReadsNoMoreThanBoxQuery) {
+  IoStats sphere_stats, box_stats;
+  BufferPool sphere_pool(&flat_file_, &sphere_stats);
+  BufferPool box_pool(&flat_file_, &box_stats);
+  const Vec3 center(40, 60, 50);
+  const double radius = 12.0;
+  std::vector<uint64_t> out;
+  flat_.SphereQuery(&sphere_pool, center, radius, &out);
+  out.clear();
+  flat_.RangeQuery(&box_pool,
+                   Aabb::FromCenterHalfExtents(center,
+                                               Vec3(radius, radius, radius)),
+                   &out);
+  EXPECT_LE(sphere_stats.TotalReads(), box_stats.TotalReads() + 2)
+      << "sphere pruning may differ by a couple of seed probes at most";
+}
+
+}  // namespace
+}  // namespace flat

@@ -1,0 +1,70 @@
+#ifndef FLAT_TESTS_TEST_UTIL_H_
+#define FLAT_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/aabb.h"
+#include "geometry/rng.h"
+#include "rtree/entry.h"
+
+namespace flat {
+namespace testing {
+
+/// `count` random boxes with ids 0..count-1 inside [0,100]^3.
+inline std::vector<RTreeEntry> RandomEntries(size_t count, uint64_t seed,
+                                             double max_side = 3.0) {
+  Rng rng(seed);
+  Aabb universe(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  std::vector<RTreeEntry> entries;
+  entries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Vec3 center = rng.PointIn(universe);
+    Vec3 half(rng.Uniform(0.01, max_side) / 2,
+              rng.Uniform(0.01, max_side) / 2,
+              rng.Uniform(0.01, max_side) / 2);
+    entries.push_back(
+        RTreeEntry{Aabb::FromCenterHalfExtents(center, half), i});
+  }
+  return entries;
+}
+
+/// Oracle: ids of entries intersecting `query`, sorted.
+inline std::vector<uint64_t> BruteForce(const std::vector<RTreeEntry>& entries,
+                                        const Aabb& query) {
+  std::vector<uint64_t> out;
+  for (const RTreeEntry& e : entries) {
+    if (e.box.Intersects(query)) out.push_back(e.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Sorted copy (indexes return results in traversal order).
+inline std::vector<uint64_t> Sorted(std::vector<uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+/// Random query boxes covering a spread of sizes within [0,100]^3.
+inline std::vector<Aabb> RandomQueries(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  Aabb universe(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  std::vector<Aabb> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Vec3 center = rng.PointIn(universe);
+    double side = rng.Uniform(0.5, 30.0);
+    Vec3 half(rng.Uniform(0.2, 1.0) * side / 2,
+              rng.Uniform(0.2, 1.0) * side / 2,
+              rng.Uniform(0.2, 1.0) * side / 2);
+    queries.push_back(Aabb::FromCenterHalfExtents(center, half));
+  }
+  return queries;
+}
+
+}  // namespace testing
+}  // namespace flat
+
+#endif  // FLAT_TESTS_TEST_UTIL_H_

@@ -1,0 +1,74 @@
+#include "geometry/vec3.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace flat {
+namespace {
+
+TEST(Vec3Test, DefaultIsZero) {
+  Vec3 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+  EXPECT_EQ(v.z, 0.0);
+}
+
+TEST(Vec3Test, Arithmetic) {
+  Vec3 a(1, 2, 3);
+  Vec3 b(4, 5, 6);
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_EQ(b / 2.0, Vec3(2, 2.5, 3));
+}
+
+TEST(Vec3Test, CompoundAssignment) {
+  Vec3 v(1, 1, 1);
+  v += Vec3(1, 2, 3);
+  EXPECT_EQ(v, Vec3(2, 3, 4));
+  v -= Vec3(1, 1, 1);
+  EXPECT_EQ(v, Vec3(1, 2, 3));
+  v *= 3.0;
+  EXPECT_EQ(v, Vec3(3, 6, 9));
+}
+
+TEST(Vec3Test, IndexAccess) {
+  Vec3 v(7, 8, 9);
+  EXPECT_EQ(v[0], 7);
+  EXPECT_EQ(v[1], 8);
+  EXPECT_EQ(v[2], 9);
+  v.At(1) = 42;
+  EXPECT_EQ(v.y, 42);
+}
+
+TEST(Vec3Test, DotAndCross) {
+  Vec3 x(1, 0, 0);
+  Vec3 y(0, 1, 0);
+  EXPECT_EQ(x.Dot(y), 0.0);
+  EXPECT_EQ(x.Cross(y), Vec3(0, 0, 1));
+  EXPECT_EQ(y.Cross(x), Vec3(0, 0, -1));
+  EXPECT_EQ(Vec3(2, 3, 4).Dot(Vec3(5, 6, 7)), 2 * 5 + 3 * 6 + 4 * 7);
+}
+
+TEST(Vec3Test, NormAndNormalized) {
+  Vec3 v(3, 4, 0);
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.SquaredNorm(), 25.0);
+  Vec3 n = v.Normalized();
+  EXPECT_DOUBLE_EQ(n.Norm(), 1.0);
+  EXPECT_DOUBLE_EQ(n.x, 0.6);
+  // Zero vector stays zero instead of producing NaN.
+  EXPECT_EQ(Vec3().Normalized(), Vec3());
+}
+
+TEST(Vec3Test, MinMax) {
+  Vec3 a(1, 5, 3);
+  Vec3 b(2, 4, 3);
+  EXPECT_EQ(Vec3::Min(a, b), Vec3(1, 4, 3));
+  EXPECT_EQ(Vec3::Max(a, b), Vec3(2, 5, 3));
+}
+
+}  // namespace
+}  // namespace flat
