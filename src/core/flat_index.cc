@@ -194,7 +194,7 @@ FlatIndex FlatIndex::Build(PageFile* file, std::vector<RTreeEntry> elements,
   return index;
 }
 
-bool FlatIndex::ProbeRecord(BufferPool* pool, const MetadataRecordView& record,
+bool FlatIndex::ProbeRecord(PageCache* pool, const MetadataRecordView& record,
                             const ElementPredicate& accept) const {
   const char* data = pool->Read(record.object_page());
   NodeView elements(data);
@@ -205,7 +205,7 @@ bool FlatIndex::ProbeRecord(BufferPool* pool, const MetadataRecordView& record,
 }
 
 std::optional<RecordRef> FlatIndex::SeedWhere(
-    BufferPool* pool, const Aabb& gate, const ElementPredicate& accept) const {
+    PageCache* pool, const Aabb& gate, const ElementPredicate& accept) const {
   if (empty() || gate.IsEmpty()) return std::nullopt;
 
   struct Frame {
@@ -240,7 +240,7 @@ std::optional<RecordRef> FlatIndex::SeedWhere(
   return std::nullopt;
 }
 
-void FlatIndex::CrawlWhere(BufferPool* pool, const Aabb& gate_box,
+void FlatIndex::CrawlWhere(PageCache* pool, const Aabb& gate_box,
                            RecordRef start, std::vector<uint64_t>* out,
                            CrawlGuard guard,
                            const ElementPredicate& accept) const {
@@ -286,26 +286,26 @@ void FlatIndex::CrawlWhere(BufferPool* pool, const Aabb& gate_box,
   }
 }
 
-std::optional<RecordRef> FlatIndex::Seed(BufferPool* pool,
+std::optional<RecordRef> FlatIndex::Seed(PageCache* pool,
                                          const Aabb& query) const {
   return SeedWhere(pool, query,
                    [&query](const Aabb& box) { return box.Intersects(query); });
 }
 
-void FlatIndex::Crawl(BufferPool* pool, const Aabb& query, RecordRef start,
+void FlatIndex::Crawl(PageCache* pool, const Aabb& query, RecordRef start,
                       std::vector<uint64_t>* out, CrawlGuard guard) const {
   CrawlWhere(pool, query, start, out, guard,
              [&query](const Aabb& box) { return box.Intersects(query); });
 }
 
-void FlatIndex::RangeQuery(BufferPool* pool, const Aabb& query,
+void FlatIndex::RangeQuery(PageCache* pool, const Aabb& query,
                            std::vector<uint64_t>* out, CrawlGuard guard) const {
   std::optional<RecordRef> start = Seed(pool, query);
   if (!start.has_value()) return;
   Crawl(pool, query, *start, out, guard);
 }
 
-std::vector<uint64_t> FlatIndex::KnnQuery(BufferPool* pool, const Vec3& center,
+std::vector<uint64_t> FlatIndex::KnnQuery(PageCache* pool, const Vec3& center,
                                           size_t k) const {
   std::vector<uint64_t> result;
   if (empty() || k == 0) return result;
@@ -372,7 +372,7 @@ std::vector<uint64_t> FlatIndex::KnnQuery(BufferPool* pool, const Vec3& center,
   return result;
 }
 
-void FlatIndex::SphereQuery(BufferPool* pool, const Vec3& center,
+void FlatIndex::SphereQuery(PageCache* pool, const Vec3& center,
                             double radius, std::vector<uint64_t>* out) const {
   if (radius < 0.0) return;
   const Aabb gate = Aabb::FromCenterHalfExtents(
@@ -385,7 +385,7 @@ void FlatIndex::SphereQuery(BufferPool* pool, const Vec3& center,
   CrawlWhere(pool, gate, *start, out, CrawlGuard::kPartitionMbr, accept);
 }
 
-void FlatIndex::RangeQueryViaSeedScan(BufferPool* pool, const Aabb& query,
+void FlatIndex::RangeQueryViaSeedScan(PageCache* pool, const Aabb& query,
                                       std::vector<uint64_t>* out) const {
   if (empty() || query.IsEmpty()) return;
   struct Frame {

@@ -10,7 +10,7 @@
 #include "core/partitioner.h"
 #include "geometry/aabb.h"
 #include "rtree/entry.h"
-#include "storage/buffer_pool.h"
+#include "storage/page_cache.h"
 #include "storage/page_file.h"
 
 namespace flat {
@@ -72,11 +72,11 @@ class FlatIndex {
   bool empty() const { return seed_root_ == kInvalidPageId; }
 
   /// Appends the ids of all elements whose MBR intersects `query`.
-  void RangeQuery(BufferPool* pool, const Aabb& query,
+  void RangeQuery(PageCache* pool, const Aabb& query,
                   std::vector<uint64_t>* out,
                   CrawlGuard guard = CrawlGuard::kPartitionMbr) const;
 
-  size_t RangeCount(BufferPool* pool, const Aabb& query) const {
+  size_t RangeCount(PageCache* pool, const Aabb& query) const {
     std::vector<uint64_t> ids;
     RangeQuery(pool, query, &ids);
     return ids.size();
@@ -87,7 +87,7 @@ class FlatIndex {
   /// III-A ("all elements within a distance of 5 µm"). Seeds and crawls
   /// with the ball's bounding box, filtering elements by exact
   /// box-to-sphere distance.
-  void SphereQuery(BufferPool* pool, const Vec3& center, double radius,
+  void SphereQuery(PageCache* pool, const Vec3& center, double radius,
                    std::vector<uint64_t>* out) const;
 
   /// The ids of (at least) the `k` elements whose MBRs are closest to
@@ -96,7 +96,7 @@ class FlatIndex {
   /// elements are inside — every probe is a cheap seed+crawl, so the cost
   /// stays proportional to the neighborhood size, in the spirit of the
   /// paper's incremental structural-neighborhood use case.
-  std::vector<uint64_t> KnnQuery(BufferPool* pool, const Vec3& center,
+  std::vector<uint64_t> KnnQuery(PageCache* pool, const Vec3& center,
                                  size_t k) const;
 
   /// Rebuilds an index over `elements` appended to `file`. The paper's
@@ -137,12 +137,12 @@ class FlatIndex {
   /// Seed phase only: finds one metadata record whose object page contains an
   /// element intersecting `query` (Section V-B.1), or nullopt when the query
   /// region is empty of data.
-  std::optional<RecordRef> Seed(BufferPool* pool, const Aabb& query) const;
+  std::optional<RecordRef> Seed(PageCache* pool, const Aabb& query) const;
 
   /// Crawl phase only (Algorithm 2), starting BFS at `start`. Exposed so
   /// tests can verify seed-choice independence: any valid start inside the
   /// query yields the same result set.
-  void Crawl(BufferPool* pool, const Aabb& query, RecordRef start,
+  void Crawl(PageCache* pool, const Aabb& query, RecordRef start,
              std::vector<uint64_t>* out,
              CrawlGuard guard = CrawlGuard::kPartitionMbr) const;
 
@@ -156,7 +156,7 @@ class FlatIndex {
   /// i.e., use the seed structure as an ordinary R-Tree and ignore the
   /// neighbor pointers. Charged through `pool` like RangeQuery, so
   /// `bench_ablation_seed_strategy` can compare the two execution plans.
-  void RangeQueryViaSeedScan(BufferPool* pool, const Aabb& query,
+  void RangeQueryViaSeedScan(PageCache* pool, const Aabb& query,
                              std::vector<uint64_t>* out) const;
 
   const BuildStats& build_stats() const { return build_stats_; }
@@ -167,6 +167,10 @@ class FlatIndex {
   /// Height of the seed tree (levels including the metadata leaf level).
   int seed_height() const { return seed_height_; }
 
+  /// The PageFile this index was built into (nullptr before Build/Attach).
+  /// Query engines use it to construct per-worker page caches.
+  const PageFile* file() const { return file_; }
+
  private:
   /// Element-level acceptance test: queries differ only in how an element
   /// MBR is matched (box intersection, sphere distance, ...); the page and
@@ -174,16 +178,16 @@ class FlatIndex {
   using ElementPredicate = std::function<bool(const Aabb&)>;
 
   // Scans one metadata record during the seed phase; returns true on hit.
-  bool ProbeRecord(BufferPool* pool, const MetadataRecordView& record,
+  bool ProbeRecord(PageCache* pool, const MetadataRecordView& record,
                    const ElementPredicate& accept) const;
 
   // Generalized seed phase: finds a record whose object page holds an
   // accepted element, pruning by `gate` (the query's bounding box).
-  std::optional<RecordRef> SeedWhere(BufferPool* pool, const Aabb& gate,
+  std::optional<RecordRef> SeedWhere(PageCache* pool, const Aabb& gate,
                                      const ElementPredicate& accept) const;
 
   // Generalized crawl (Algorithm 2) with a custom element test.
-  void CrawlWhere(BufferPool* pool, const Aabb& gate, RecordRef start,
+  void CrawlWhere(PageCache* pool, const Aabb& gate, RecordRef start,
                   std::vector<uint64_t>* out, CrawlGuard guard,
                   const ElementPredicate& accept) const;
 

@@ -1,0 +1,170 @@
+#include "engine/query_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+
+#include "storage/buffer_pool.h"
+
+namespace flat {
+
+QueryEngine::QueryEngine(const FlatIndex* index, Options options)
+    : index_(index), options_(options) {
+  size_t threads = options_.threads;
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  options_.threads = threads;
+
+  queues_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+QueryEngine::~QueryEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::vector<QueryResult> QueryEngine::Run(const std::vector<Query>& batch,
+                                          BatchStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<QueryResult> results(batch.size());
+
+  // A default-constructed (never built) index has no PageFile to read from;
+  // every query legitimately returns empty.
+  if (!batch.empty() && index_->file() != nullptr) {
+    // Block-partition the batch: contiguous runs keep neighboring queries —
+    // which workloads tend to generate with spatial locality — on one
+    // worker; stealing rebalances the tail.
+    const size_t threads = workers_.size();
+    const size_t per_worker = (batch.size() + threads - 1) / threads;
+    for (size_t w = 0; w < threads; ++w) {
+      std::lock_guard<std::mutex> lock(queues_[w]->mu);
+      queues_[w]->items.clear();
+      const size_t first = std::min(batch.size(), w * per_worker);
+      const size_t last = std::min(batch.size(), first + per_worker);
+      for (size_t i = first; i < last; ++i) queues_[w]->items.push_back(i);
+    }
+
+    std::optional<StripedBufferPool> shared_cache;
+    if (options_.cache_mode == CacheMode::kSharedStriped) {
+      shared_cache.emplace(index_->file(), options_.shared_cache_pages);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_.batch = &batch;
+      job_.results = &results;
+      job_.shared_cache = shared_cache.has_value() ? &*shared_cache : nullptr;
+      active_workers_ = threads;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return active_workers_ == 0; });
+    job_ = Job{};
+  }
+
+  if (stats != nullptr) {
+    *stats = BatchStats{};
+    stats->threads = workers_.size();
+    for (const QueryResult& r : results) {
+      stats->io += r.io;
+      stats->result_elements += r.ids.size();
+    }
+    stats->wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+  }
+  return results;
+}
+
+void QueryEngine::WorkerLoop(size_t worker_index) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, seen_generation] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    ProcessQueue(worker_index, job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void QueryEngine::ProcessQueue(size_t worker_index, const Job& job) {
+  size_t query_index;
+  while (PopOwn(worker_index, &query_index) ||
+         Steal(worker_index, &query_index)) {
+    ExecuteQuery(job, (*job.batch)[query_index],
+                 &(*job.results)[query_index]);
+  }
+}
+
+bool QueryEngine::PopOwn(size_t worker_index, size_t* query_index) {
+  WorkerQueue& queue = *queues_[worker_index];
+  std::lock_guard<std::mutex> lock(queue.mu);
+  if (queue.items.empty()) return false;
+  *query_index = queue.items.front();
+  queue.items.pop_front();
+  return true;
+}
+
+bool QueryEngine::Steal(size_t worker_index, size_t* query_index) {
+  const size_t n = queues_.size();
+  for (size_t offset = 1; offset < n; ++offset) {
+    WorkerQueue& victim = *queues_[(worker_index + offset) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (victim.items.empty()) continue;
+    *query_index = victim.items.back();
+    victim.items.pop_back();
+    return true;
+  }
+  return false;
+}
+
+void DispatchQuery(const FlatIndex& index, const Query& query,
+                   PageCache* cache, QueryResult* result) {
+  switch (query.type) {
+    case Query::Type::kRange:
+      index.RangeQuery(cache, query.box, &result->ids, query.guard);
+      break;
+    case Query::Type::kKnn:
+      result->ids = index.KnnQuery(cache, query.center, query.k);
+      break;
+    case Query::Type::kSphere:
+      index.SphereQuery(cache, query.center, query.radius, &result->ids);
+      break;
+  }
+}
+
+void QueryEngine::ExecuteQuery(const Job& job, const Query& query,
+                               QueryResult* result) {
+  if (job.shared_cache != nullptr) {
+    StripedBufferPool::Session session(job.shared_cache, &result->io);
+    DispatchQuery(*index_, query, &session, result);
+    return;
+  }
+  BufferPool pool(index_->file(), &result->io, options_.pool_pages);
+  DispatchQuery(*index_, query, &pool, result);
+}
+
+}  // namespace flat

@@ -1,0 +1,167 @@
+#ifndef FLAT_ENGINE_QUERY_ENGINE_H_
+#define FLAT_ENGINE_QUERY_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/flat_index.h"
+#include "geometry/aabb.h"
+#include "geometry/vec3.h"
+#include "storage/io_stats.h"
+#include "storage/striped_buffer_pool.h"
+
+namespace flat {
+
+/// One query in a batch submitted to the QueryEngine.
+struct Query {
+  enum class Type { kRange, kKnn, kSphere };
+
+  Type type = Type::kRange;
+  Aabb box;                // kRange
+  Vec3 center;             // kKnn / kSphere
+  double radius = 0.0;     // kSphere
+  size_t k = 0;            // kKnn
+  FlatIndex::CrawlGuard guard = FlatIndex::CrawlGuard::kPartitionMbr;
+
+  static Query Range(
+      const Aabb& box,
+      FlatIndex::CrawlGuard guard = FlatIndex::CrawlGuard::kPartitionMbr) {
+    Query q;
+    q.type = Type::kRange;
+    q.box = box;
+    q.guard = guard;
+    return q;
+  }
+
+  static Query Knn(const Vec3& center, size_t k) {
+    Query q;
+    q.type = Type::kKnn;
+    q.center = center;
+    q.k = k;
+    return q;
+  }
+
+  static Query Sphere(const Vec3& center, double radius) {
+    Query q;
+    q.type = Type::kSphere;
+    q.center = center;
+    q.radius = radius;
+    return q;
+  }
+};
+
+/// Result of one query: element ids in index traversal order (identical to
+/// what the serial FlatIndex call produces) plus the query's own I/O
+/// breakdown.
+struct QueryResult {
+  std::vector<uint64_t> ids;
+  IoStats io;
+};
+
+/// Runs one query against `index` through `cache` via the serial FlatIndex
+/// code path, appending ids into `result->ids`. The single dispatch point
+/// shared by the engine's workers and the serial reference harness.
+void DispatchQuery(const FlatIndex& index, const Query& query,
+                   PageCache* cache, QueryResult* result);
+
+/// Aggregate outcome of one batch execution.
+struct BatchStats {
+  /// Sum of every query's IoStats. In kColdPerQuery mode this is identical —
+  /// per category — to executing the batch serially with a cold cache per
+  /// query (the paper's methodology).
+  IoStats io;
+  uint64_t result_elements = 0;
+  double wall_seconds = 0.0;
+  size_t threads = 0;
+};
+
+/// Parallel batch query engine over a FlatIndex.
+///
+/// A fixed pool of worker threads executes a batch of range / kNN / sphere
+/// queries. The batch is block-partitioned into per-worker deques; a worker
+/// that drains its own deque steals from the back of its siblings', so skewed
+/// batches (a few crawl-heavy queries among many cheap ones) still balance.
+///
+/// Each query runs the unmodified serial FlatIndex code path, so per-query
+/// result vectors are bit-identical to serial execution no matter the thread
+/// count. I/O accounting is per query and merged into BatchStats:
+///
+///  - kColdPerQuery (default): every query gets a fresh BufferPool over the
+///    shared PageFile — cold cache per query, exactly the paper's benchmark
+///    methodology — so merged totals equal serial execution's.
+///  - kSharedStriped: all queries share one StripedBufferPool; results are
+///    unchanged but total reads shrink because the batch shares the cache
+///    (the multi-client serving scenario).
+class QueryEngine {
+ public:
+  enum class CacheMode { kColdPerQuery, kSharedStriped };
+
+  struct Options {
+    /// Worker threads (0 means std::thread::hardware_concurrency()).
+    size_t threads = 0;
+    /// Per-query BufferPool capacity in kColdPerQuery mode (0 = unbounded).
+    size_t pool_pages = 0;
+    /// Shared cache capacity in kSharedStriped mode (0 = unbounded).
+    size_t shared_cache_pages = 0;
+    CacheMode cache_mode = CacheMode::kColdPerQuery;
+  };
+
+  explicit QueryEngine(const FlatIndex* index)
+      : QueryEngine(index, Options()) {}
+  QueryEngine(const FlatIndex* index, Options options);
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Executes `batch`, returning one QueryResult per query in batch order.
+  /// Not safe to call concurrently from multiple threads (queue the batches
+  /// instead — that is what a batch is for).
+  std::vector<QueryResult> Run(const std::vector<Query>& batch,
+                               BatchStats* stats = nullptr);
+
+  size_t threads() const { return workers_.size(); }
+  const Options& options() const { return options_; }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<size_t> items;  // indices into the current batch
+  };
+
+  struct Job {
+    const std::vector<Query>* batch = nullptr;
+    std::vector<QueryResult>* results = nullptr;
+    StripedBufferPool* shared_cache = nullptr;
+  };
+
+  void WorkerLoop(size_t worker_index);
+  void ProcessQueue(size_t worker_index, const Job& job);
+  bool PopOwn(size_t worker_index, size_t* query_index);
+  bool Steal(size_t worker_index, size_t* query_index);
+  void ExecuteQuery(const Job& job, const Query& query, QueryResult* result);
+
+  const FlatIndex* index_;
+  Options options_;
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  // Batch dispatch state, guarded by mu_.
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;
+  size_t active_workers_ = 0;
+  bool shutdown_ = false;
+  Job job_;
+};
+
+}  // namespace flat
+
+#endif  // FLAT_ENGINE_QUERY_ENGINE_H_

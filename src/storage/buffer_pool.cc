@@ -6,35 +6,22 @@ namespace flat {
 
 BufferPool::BufferPool(const PageFile* file, IoStats* stats,
                        size_t capacity_pages)
-    : file_(file), stats_(stats), capacity_pages_(capacity_pages) {
+    : file_(file), stats_(stats), lru_(capacity_pages) {
   assert(file_ != nullptr);
   assert(stats_ != nullptr);
 }
 
 const char* BufferPool::Read(PageId id) {
-  auto it = cache_.find(id);
-  if (it != cache_.end()) {
+  if (lru_.Touch(id)) {
     ++hits_;
-    recency_.splice(recency_.begin(), recency_, it->second);
-    return file_->Data(id);
+  } else {
+    ++misses_;
+    stats_->RecordRead(file_->category(id));
+    lru_.Insert(id);
   }
-
-  ++misses_;
-  stats_->RecordRead(file_->category(id));
-
-  if (capacity_pages_ > 0 && cache_.size() >= capacity_pages_) {
-    PageId victim = recency_.back();
-    recency_.pop_back();
-    cache_.erase(victim);
-  }
-  recency_.push_front(id);
-  cache_[id] = recency_.begin();
   return file_->Data(id);
 }
 
-void BufferPool::Clear() {
-  recency_.clear();
-  cache_.clear();
-}
+void BufferPool::Clear() { lru_.Clear(); }
 
 }  // namespace flat

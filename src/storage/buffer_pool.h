@@ -2,22 +2,23 @@
 #define FLAT_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 
 #include "storage/io_stats.h"
+#include "storage/lru_page_set.h"
+#include "storage/page_cache.h"
 #include "storage/page_file.h"
 
 namespace flat {
 
-/// LRU page cache in front of a PageFile.
+/// Single-threaded LRU page cache in front of a PageFile.
 ///
 /// A `Read` that misses the cache counts one page read (in the page's
 /// category) against the attached IoStats; hits are free, mirroring the OS
 /// buffer cache of the paper's testbed. `Clear()` empties the cache —
 /// the paper clears OS caches and disk buffers before every query, and the
-/// benchmark harness does the same through this method.
-class BufferPool {
+/// benchmark harness does the same through this method. For concurrent
+/// readers use StripedBufferPool (one Session per thread).
+class BufferPool final : public PageCache {
  public:
   /// `capacity_pages` bounds the number of cached pages (0 means unbounded).
   BufferPool(const PageFile* file, IoStats* stats, size_t capacity_pages = 0);
@@ -25,20 +26,20 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Fetches a page, charging a read on miss. The returned pointer is valid
-  /// until the page is evicted or the pool is cleared; callers must not hold
-  /// it across further Read calls unless the pool is unbounded.
-  const char* Read(PageId id);
+  /// Fetches a page, charging a read on miss. The returned pointer aliases
+  /// the PageFile's storage and stays valid for the file's lifetime (see
+  /// PageCache::Read); eviction only affects hit/miss accounting.
+  const char* Read(PageId id) override;
 
   /// Drops every cached page (cold cache).
   void Clear();
 
   /// True if the page is currently cached (test hook; does not touch LRU
   /// order or counters).
-  bool IsCached(PageId id) const { return cache_.contains(id); }
+  bool IsCached(PageId id) const { return lru_.Contains(id); }
 
-  size_t cached_pages() const { return cache_.size(); }
-  size_t capacity_pages() const { return capacity_pages_; }
+  size_t cached_pages() const { return lru_.size(); }
+  size_t capacity_pages() const { return lru_.capacity(); }
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
@@ -49,11 +50,7 @@ class BufferPool {
  private:
   const PageFile* file_;
   IoStats* stats_;
-  size_t capacity_pages_;
-
-  // MRU at front. The map holds iterators into the recency list.
-  std::list<PageId> recency_;
-  std::unordered_map<PageId, std::list<PageId>::iterator> cache_;
+  LruPageSet lru_;
 
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

@@ -1,0 +1,58 @@
+#ifndef FLAT_STORAGE_LRU_PAGE_SET_H_
+#define FLAT_STORAGE_LRU_PAGE_SET_H_
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+
+#include "storage/page.h"
+
+namespace flat {
+
+/// The LRU bookkeeping shared by BufferPool and StripedBufferPool's stripes:
+/// a recency list plus an id -> iterator map, evicting from the back when a
+/// capacity is set. Not thread-safe — callers provide their own locking.
+class LruPageSet {
+ public:
+  /// `capacity` bounds the resident set (0 means unbounded).
+  explicit LruPageSet(size_t capacity = 0) : capacity_(capacity) {}
+
+  /// True (and moves the page to the front) if `id` is resident.
+  bool Touch(PageId id) {
+    auto it = map_.find(id);
+    if (it == map_.end()) return false;
+    recency_.splice(recency_.begin(), recency_, it->second);
+    return true;
+  }
+
+  /// Makes `id` resident at the front, evicting the back entry if full.
+  /// The caller has already established `id` is absent (via Touch).
+  void Insert(PageId id) {
+    if (capacity_ > 0 && map_.size() >= capacity_) {
+      const PageId victim = recency_.back();
+      recency_.pop_back();
+      map_.erase(victim);
+    }
+    recency_.push_front(id);
+    map_[id] = recency_.begin();
+  }
+
+  void Clear() {
+    recency_.clear();
+    map_.clear();
+  }
+
+  bool Contains(PageId id) const { return map_.contains(id); }
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  // MRU at front; the map holds iterators into the recency list.
+  std::list<PageId> recency_;
+  std::unordered_map<PageId, std::list<PageId>::iterator> map_;
+};
+
+}  // namespace flat
+
+#endif  // FLAT_STORAGE_LRU_PAGE_SET_H_

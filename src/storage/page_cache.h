@@ -1,0 +1,28 @@
+#ifndef FLAT_STORAGE_PAGE_CACHE_H_
+#define FLAT_STORAGE_PAGE_CACHE_H_
+
+#include "storage/page.h"
+
+namespace flat {
+
+/// Interface for query-time page access. Every index query reads pages
+/// through a PageCache; implementations charge a page read (in the page's
+/// category) against an IoStats on cache miss, so all execution paths —
+/// serial BufferPool or the concurrent StripedBufferPool sessions used by
+/// the QueryEngine — are accounted identically.
+class PageCache {
+ public:
+  virtual ~PageCache() = default;
+
+  /// Fetches a page, charging a read on miss. Implementations must return a
+  /// pointer that stays valid for the lifetime of the underlying PageFile,
+  /// independent of later Reads or eviction — index code (e.g. the FLAT
+  /// crawl) holds a record pointer across further Read calls. Both current
+  /// implementations satisfy this by returning pointers into the immutable
+  /// PageFile; eviction only forgets accounting state.
+  virtual const char* Read(PageId id) = 0;
+};
+
+}  // namespace flat
+
+#endif  // FLAT_STORAGE_PAGE_CACHE_H_

@@ -1,0 +1,102 @@
+#include "storage/striped_buffer_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flat {
+namespace {
+
+size_t RoundUpPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+StripedBufferPool::StripedBufferPool(const PageFile* file,
+                                     size_t capacity_pages,
+                                     size_t stripe_count)
+    : file_(file), capacity_pages_(capacity_pages) {
+  assert(file_ != nullptr);
+  const size_t stripes = RoundUpPowerOfTwo(stripe_count == 0 ? 1 : stripe_count);
+  stripe_mask_ = stripes - 1;
+  per_stripe_capacity_ =
+      capacity_pages_ == 0
+          ? 0
+          : std::max<size_t>(1, (capacity_pages_ + stripes - 1) / stripes);
+  stripes_.reserve(stripes);
+  for (size_t i = 0; i < stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>(per_stripe_capacity_));
+  }
+}
+
+const char* StripedBufferPool::Read(PageId id, IoStats* stats) {
+  Stripe& stripe = StripeFor(id);
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    if (stripe.lru.Touch(id)) {
+      ++stripe.hits;
+      // Page data lives in the immutable PageFile, so the pointer can be
+      // returned outside the stripe lock.
+    } else {
+      ++stripe.misses;
+      const PageCategory category = file_->category(id);
+      stripe.stats.RecordRead(category);
+      if (stats != nullptr) stats->RecordRead(category);
+      stripe.lru.Insert(id);
+    }
+  }
+  return file_->Data(id);
+}
+
+void StripedBufferPool::Clear() {
+  for (auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    stripe->lru.Clear();
+  }
+}
+
+bool StripedBufferPool::IsCached(PageId id) const {
+  Stripe& stripe = StripeFor(id);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  return stripe.lru.Contains(id);
+}
+
+size_t StripedBufferPool::cached_pages() const {
+  size_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    total += stripe->lru.size();
+  }
+  return total;
+}
+
+uint64_t StripedBufferPool::hits() const {
+  uint64_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    total += stripe->hits;
+  }
+  return total;
+}
+
+uint64_t StripedBufferPool::misses() const {
+  uint64_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    total += stripe->misses;
+  }
+  return total;
+}
+
+IoStats StripedBufferPool::MergedStats() const {
+  IoStats merged;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    merged += stripe->stats;
+  }
+  return merged;
+}
+
+}  // namespace flat

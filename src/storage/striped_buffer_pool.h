@@ -1,0 +1,106 @@
+#ifndef FLAT_STORAGE_STRIPED_BUFFER_POOL_H_
+#define FLAT_STORAGE_STRIPED_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "storage/io_stats.h"
+#include "storage/lru_page_set.h"
+#include "storage/page_cache.h"
+#include "storage/page_file.h"
+
+namespace flat {
+
+/// Concurrent LRU page cache in front of a PageFile.
+///
+/// The cache is partitioned into stripes by page id; each stripe has its own
+/// lock, recency list, and hit/miss counters, so readers on disjoint stripes
+/// never contend. Page *data* lives in the immutable PageFile, so a returned
+/// pointer is always consistent regardless of concurrent eviction — eviction
+/// only forgets that a page was cached.
+///
+/// I/O accounting is per caller: `Read` charges the miss against the
+/// caller-supplied IoStats (typically thread- or query-local), while the
+/// stripe additionally records the miss in its own IoStats. Summing the
+/// caller-side stats therefore always equals `MergedStats()`, which is how
+/// the QueryEngine reports per-query breakdowns that add up to the batch
+/// aggregate.
+class StripedBufferPool {
+ public:
+  /// `capacity_pages` is divided (rounding up, minimum 1) into equal
+  /// per-stripe bounds, so the effective total can exceed it by up to
+  /// stripe_count pages and a stripe-hot workload may evict before the
+  /// global figure is reached (0 means unbounded). `stripe_count` is
+  /// rounded up to a power of two.
+  explicit StripedBufferPool(const PageFile* file, size_t capacity_pages = 0,
+                             size_t stripe_count = 16);
+
+  StripedBufferPool(const StripedBufferPool&) = delete;
+  StripedBufferPool& operator=(const StripedBufferPool&) = delete;
+
+  /// Fetches a page; on miss charges one read to `stats` (and to the owning
+  /// stripe's aggregate). Safe to call from any number of threads.
+  const char* Read(PageId id, IoStats* stats);
+
+  /// Drops every cached page (cold cache). Not safe concurrently with Read.
+  void Clear();
+
+  /// True if the page is currently cached (test hook).
+  bool IsCached(PageId id) const;
+
+  size_t cached_pages() const;
+  size_t capacity_pages() const { return capacity_pages_; }
+  size_t stripe_count() const { return stripes_.size(); }
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+  /// Sum of the per-stripe IoStats: every miss any session ever charged.
+  IoStats MergedStats() const;
+
+  const PageFile& file() const { return *file_; }
+
+  /// A single-threaded view over the shared pool that charges misses to one
+  /// IoStats — hand one Session per worker (or per query) to code written
+  /// against the PageCache interface.
+  class Session final : public PageCache {
+   public:
+    Session(StripedBufferPool* pool, IoStats* stats)
+        : pool_(pool), stats_(stats) {}
+
+    const char* Read(PageId id) override { return pool_->Read(id, stats_); }
+
+   private:
+    StripedBufferPool* pool_;
+    IoStats* stats_;
+  };
+
+ private:
+  struct Stripe {
+    explicit Stripe(size_t capacity) : lru(capacity) {}
+
+    mutable std::mutex mu;
+    LruPageSet lru;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    IoStats stats;
+  };
+
+  Stripe& StripeFor(PageId id) const {
+    // Fibonacci hashing spreads sequential page ids across stripes.
+    const uint32_t h = static_cast<uint32_t>(id) * 2654435769u;
+    return *stripes_[(h >> 16) & stripe_mask_];
+  }
+
+  const PageFile* file_;
+  size_t capacity_pages_;
+  size_t per_stripe_capacity_;
+  size_t stripe_mask_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+}  // namespace flat
+
+#endif  // FLAT_STORAGE_STRIPED_BUFFER_POOL_H_

@@ -1,0 +1,185 @@
+// Concurrency contract of StripedBufferPool: readers on overlapping page
+// sets always see consistent page bytes, and hit/miss/IoStats counters sum
+// correctly across stripes and sessions.
+#include "storage/striped_buffer_pool.h"
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "storage/io_stats.h"
+#include "storage/page_file.h"
+
+namespace flat {
+namespace {
+
+// A PageFile whose every page is stamped with a recognizable pattern derived
+// from its id, so readers can verify they got the right, un-torn bytes.
+void StampFile(PageFile* file, size_t pages) {
+  for (size_t i = 0; i < pages; ++i) {
+    const PageId id = file->Allocate(
+        static_cast<PageCategory>(i % kNumPageCategories));
+    char* data = file->MutableData(id);
+    for (uint32_t b = 0; b < file->page_size(); ++b) {
+      data[b] = static_cast<char>((id * 131 + b) & 0xff);
+    }
+  }
+}
+
+bool PageLooksRight(const char* data, PageId id, uint32_t page_size) {
+  for (uint32_t b = 0; b < page_size; b += 97) {
+    if (data[b] != static_cast<char>((id * 131 + b) & 0xff)) return false;
+  }
+  return true;
+}
+
+TEST(StripedBufferPoolTest, SingleThreadedSemanticsMatchBufferPool) {
+  PageFile file;
+  StampFile(&file, 64);
+  IoStats striped_stats;
+  StripedBufferPool striped(&file);
+
+  IoStats plain_stats;
+  BufferPool plain(&file, &plain_stats);
+
+  // Same access sequence through both pools.
+  std::vector<PageId> sequence;
+  for (PageId id = 0; id < 64; ++id) sequence.push_back(id);
+  for (PageId id = 0; id < 64; id += 2) sequence.push_back(id);  // re-reads
+
+  for (PageId id : sequence) {
+    EXPECT_EQ(striped.Read(id, &striped_stats), plain.Read(id));
+  }
+  EXPECT_EQ(striped.hits(), plain.hits());
+  EXPECT_EQ(striped.misses(), plain.misses());
+  for (int c = 0; c < kNumPageCategories; ++c) {
+    const PageCategory category = static_cast<PageCategory>(c);
+    EXPECT_EQ(striped_stats.ReadsIn(category), plain_stats.ReadsIn(category));
+    EXPECT_EQ(striped.MergedStats().ReadsIn(category),
+              plain_stats.ReadsIn(category));
+  }
+}
+
+TEST(StripedBufferPoolTest, ConcurrentReadersOverlappingPages) {
+  constexpr size_t kPages = 256;
+  constexpr size_t kThreads = 8;
+  constexpr size_t kReadsPerThread = 20000;
+
+  PageFile file;
+  StampFile(&file, kPages);
+  StripedBufferPool pool(&file);
+
+  std::vector<IoStats> per_thread(kThreads);
+  std::atomic<uint64_t> bad_pages{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      StripedBufferPool::Session session(&pool, &per_thread[t]);
+      // Deterministic per-thread walk; all threads overlap heavily.
+      uint64_t state = t * 2654435761u + 1;
+      for (size_t i = 0; i < kReadsPerThread; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const PageId id = static_cast<PageId>((state >> 33) % kPages);
+        const char* data = session.Read(id);
+        if (!PageLooksRight(data, id, file.page_size())) {
+          bad_pages.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Consistent pages: every read returned the right, un-torn bytes.
+  EXPECT_EQ(bad_pages.load(), 0u);
+
+  // Counters sum correctly: hits + misses == total issued reads; unbounded
+  // cache means each page missed exactly once, globally.
+  EXPECT_EQ(pool.hits() + pool.misses(), kThreads * kReadsPerThread);
+  EXPECT_EQ(pool.misses(), kPages);
+  EXPECT_EQ(pool.cached_pages(), kPages);
+
+  // Per-thread IoStats merge into the pool aggregate exactly.
+  IoStats merged;
+  for (const IoStats& stats : per_thread) merged += stats;
+  EXPECT_EQ(merged.TotalReads(), pool.misses());
+  for (int c = 0; c < kNumPageCategories; ++c) {
+    const PageCategory category = static_cast<PageCategory>(c);
+    EXPECT_EQ(merged.ReadsIn(category),
+              pool.MergedStats().ReadsIn(category));
+  }
+}
+
+TEST(StripedBufferPoolTest, ConcurrentReadersBoundedCapacity) {
+  constexpr size_t kPages = 512;
+  constexpr size_t kThreads = 8;
+  constexpr size_t kReadsPerThread = 20000;
+  constexpr size_t kCapacity = 64;  // far smaller than the working set
+
+  PageFile file;
+  StampFile(&file, kPages);
+  StripedBufferPool pool(&file, kCapacity);
+
+  std::atomic<uint64_t> bad_pages{0};
+  std::vector<IoStats> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      StripedBufferPool::Session session(&pool, &per_thread[t]);
+      uint64_t state = t + 12345;
+      for (size_t i = 0; i < kReadsPerThread; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const PageId id = static_cast<PageId>((state >> 33) % kPages);
+        const char* data = session.Read(id);
+        if (!PageLooksRight(data, id, file.page_size())) {
+          bad_pages.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(bad_pages.load(), 0u);
+  EXPECT_EQ(pool.hits() + pool.misses(), kThreads * kReadsPerThread);
+  // Eviction means strictly more misses than distinct pages...
+  EXPECT_GT(pool.misses(), kPages);
+  // ...and the cache respects its (per-stripe rounded) capacity bound.
+  EXPECT_LE(pool.cached_pages(), kCapacity + pool.stripe_count());
+
+  IoStats merged;
+  for (const IoStats& stats : per_thread) merged += stats;
+  EXPECT_EQ(merged.TotalReads(), pool.misses());
+  EXPECT_EQ(merged.TotalReads(), pool.MergedStats().TotalReads());
+}
+
+TEST(StripedBufferPoolTest, ClearColdsTheCache) {
+  PageFile file;
+  StampFile(&file, 32);
+  StripedBufferPool pool(&file);
+  IoStats stats;
+  for (PageId id = 0; id < 32; ++id) pool.Read(id, &stats);
+  EXPECT_EQ(pool.cached_pages(), 32u);
+  EXPECT_TRUE(pool.IsCached(7));
+
+  pool.Clear();
+  EXPECT_EQ(pool.cached_pages(), 0u);
+  EXPECT_FALSE(pool.IsCached(7));
+
+  pool.Read(7, &stats);
+  EXPECT_EQ(pool.misses(), 33u);  // re-read after Clear is a fresh miss
+}
+
+TEST(StripedBufferPoolTest, NullStatsSessionsStillCountInAggregate) {
+  PageFile file;
+  StampFile(&file, 8);
+  StripedBufferPool pool(&file);
+  for (PageId id = 0; id < 8; ++id) pool.Read(id, /*stats=*/nullptr);
+  EXPECT_EQ(pool.misses(), 8u);
+  EXPECT_EQ(pool.MergedStats().TotalReads(), 8u);
+}
+
+}  // namespace
+}  // namespace flat
