@@ -2,16 +2,139 @@
 // bulkloaded R-Trees and FLAT, with FLAT's phases (partitioning / finding
 // neighbors) broken out. Paper: Hilbert < STR <= FLAT << PR-Tree, all
 // linear-ish in the data size.
+//
+// Build-pipeline scaling mode: pass --threads-max=N to instead sweep FLAT's
+// parallel build over thread counts 1,2,4,..,N on one neuron data set,
+// emitting per-phase (partition / neighbor / write) timings as JSON and
+// byte-comparing every parallel build against the serial one. Extra flags:
+// --elements=N (data-set size, default 150000 * scale), --repeats=R (keep
+// the best wall time, default 3), --json (JSON only, no table).
+#include <cstring>
 #include <iostream>
 
 #include "benchutil/experiment.h"
 #include "benchutil/reference.h"
 #include "benchutil/sweep.h"
 #include "benchutil/table.h"
+#include "core/flat_index.h"
+#include "storage/page_file.h"
+
+namespace {
+
+using namespace flat;
+
+bool FilesIdentical(const PageFile& a, const PageFile& b) {
+  if (a.page_size() != b.page_size() || a.page_count() != b.page_count()) {
+    return false;
+  }
+  for (PageId id = 0; id < a.page_count(); ++id) {
+    if (a.category(id) != b.category(id) ||
+        std::memcmp(a.Data(id), b.Data(id), a.page_size()) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct SweepPoint {
+  size_t threads = 0;
+  FlatIndex::BuildStats best;  // run with the best total build time
+  bool identical_to_serial = false;
+};
+
+double TotalSeconds(const FlatIndex::BuildStats& s) {
+  return s.partition_seconds + s.neighbor_seconds + s.write_seconds;
+}
+
+int RunThreadSweep(const BenchFlags& flags) {
+  const size_t elements = static_cast<size_t>(
+      flags.GetInt("elements", static_cast<int64_t>(flags.Scaled(150000))));
+  const size_t max_threads =
+      static_cast<size_t>(flags.GetInt("threads-max", 4));
+  const int repeats = static_cast<int>(flags.GetInt("repeats", 3));
+
+  Dataset dataset = NeuronDatasetAt(elements, flags.seed());
+
+  // Serial reference file for the byte-identity check.
+  PageFile reference_file;
+  FlatIndex::Build(&reference_file, dataset.elements);
+
+  std::vector<SweepPoint> points;
+  for (size_t threads = 1; threads <= max_threads; threads *= 2) {
+    SweepPoint point;
+    point.threads = threads;
+    point.identical_to_serial = true;
+    for (int rep = 0; rep < repeats; ++rep) {
+      PageFile file;
+      FlatIndex::BuildStats stats;
+      FlatIndex::Build(&file, dataset.elements,
+                       FlatIndex::BuildOptions{threads}, &stats);
+      if (rep == 0 || TotalSeconds(stats) < TotalSeconds(point.best)) {
+        point.best = stats;
+      }
+      if (!FilesIdentical(reference_file, file)) {
+        point.identical_to_serial = false;
+      }
+    }
+    points.push_back(point);
+  }
+
+  if (flags.GetInt("json", 0) == 0) {
+    std::cout << "FLAT parallel build: per-phase seconds vs. threads ("
+              << elements << " neuron elements, best of " << repeats
+              << " runs)\n\n";
+    Table table({"threads", "partition s", "neighbors s", "write s", "total s",
+                 "identical"});
+    for (const SweepPoint& p : points) {
+      table.AddRow({FormatNumber(static_cast<double>(p.threads), 0),
+                    FormatNumber(p.best.partition_seconds, 4),
+                    FormatNumber(p.best.neighbor_seconds, 4),
+                    FormatNumber(p.best.write_seconds, 4),
+                    FormatNumber(TotalSeconds(p.best), 4),
+                    p.identical_to_serial ? "yes" : "NO"});
+    }
+    flags.csv() ? table.PrintCsv(std::cout) : table.Print(std::cout);
+  } else {
+    // JSON document on a clean stdout (the baseline files are recorded
+    // from it).
+    std::cout << "{\n"
+              << "  \"bench\": \"fig10_build_time\",\n"
+              << "  \"mode\": \"threads_sweep\",\n"
+              << "  \"elements\": " << elements << ",\n"
+              << "  \"partitions\": " << points.front().best.partitions
+              << ",\n"
+              << "  \"repeats\": " << repeats << ",\n"
+              << "  \"points\": [\n";
+    for (size_t i = 0; i < points.size(); ++i) {
+      const SweepPoint& p = points[i];
+      std::cout << "    {\"threads\": " << p.threads
+                << ", \"partition_s\": " << p.best.partition_seconds
+                << ", \"neighbor_s\": " << p.best.neighbor_seconds
+                << ", \"write_s\": " << p.best.write_seconds
+                << ", \"total_s\": " << TotalSeconds(p.best)
+                << ", \"identical_to_serial\": "
+                << (p.identical_to_serial ? "true" : "false") << "}"
+                << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    std::cout << "  ]\n}\n";
+  }
+
+  for (const SweepPoint& p : points) {
+    if (!p.identical_to_serial) {
+      std::cerr << "ERROR: parallel build diverged from serial at "
+                << p.threads << " threads\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace flat;
   BenchFlags flags(argc, argv);
+
+  if (flags.GetInt("threads-max", 0) > 0) return RunThreadSweep(flags);
 
   SweepOptions options;
   options.volume_fraction = 0.0;  // build-only

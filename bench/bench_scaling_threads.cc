@@ -3,7 +3,8 @@
 // bit-for-bit against serial execution.
 //
 // Flags: --scale --queries --seed --csv --threads-max=N --shared (use the
-// shared striped cache instead of cold-per-query pools).
+// shared striped cache instead of cold-per-query pools) --json (emit the
+// sweep as a JSON document, e.g. for the BENCH_crawl.json baseline).
 #include <algorithm>
 #include <iostream>
 #include <thread>
@@ -51,31 +52,58 @@ int main(int argc, char** argv) {
       flags.GetInt("shared", 0) != 0 ? QueryEngine::CacheMode::kSharedStriped
                                      : QueryEngine::CacheMode::kColdPerQuery;
 
-  std::cout << "# " << dataset.elements.size() << " uniform elements, "
-            << batch.size() << " range queries, "
-            << (mode == QueryEngine::CacheMode::kSharedStriped
-                    ? "shared striped cache"
-                    : "cold cache per query")
-            << ", " << hw << " hardware threads\n";
+  // In --json mode stdout carries only the JSON document.
+  std::ostream& info =
+      flags.GetInt("json", 0) != 0 ? std::cerr : std::cout;
+  info << "# " << dataset.elements.size() << " uniform elements, "
+       << batch.size() << " range queries, "
+       << (mode == QueryEngine::CacheMode::kSharedStriped
+               ? "shared striped cache"
+               : "cold cache per query")
+       << ", " << hw << " hardware threads\n";
   if (hw < 2) {
-    std::cout << "# NOTE: single-core machine — wall-clock speedup is bounded "
-                 "by 1.0; the 'identical' column still validates the engine\n";
+    info << "# NOTE: single-core machine — wall-clock speedup is bounded "
+            "by 1.0; the 'identical' column still validates the engine\n";
   }
 
   std::vector<ThroughputPoint> points =
       RunThroughputSweep(index, batch, thread_counts, /*repeats=*/3, mode);
 
-  Table table({"threads", "seconds", "queries/s", "speedup", "page reads",
-               "identical"});
-  for (const ThroughputPoint& p : points) {
-    table.AddRow({FormatNumber(static_cast<double>(p.threads), 0),
-                  FormatNumber(p.best_seconds, 4),
-                  FormatNumber(p.queries_per_second, 0),
-                  FormatNumber(p.speedup, 2),
-                  FormatNumber(static_cast<double>(p.total_reads), 0),
-                  p.identical_to_serial ? "yes" : "NO"});
+  if (flags.GetInt("json", 0) != 0) {
+    std::cout << "{\n"
+              << "  \"bench\": \"scaling_threads\",\n"
+              << "  \"elements\": " << dataset.elements.size() << ",\n"
+              << "  \"queries\": " << batch.size() << ",\n"
+              << "  \"cache_mode\": \""
+              << (mode == QueryEngine::CacheMode::kSharedStriped ? "shared"
+                                                                 : "cold")
+              << "\",\n"
+              << "  \"points\": [\n";
+    for (size_t i = 0; i < points.size(); ++i) {
+      const ThroughputPoint& p = points[i];
+      std::cout << "    {\"threads\": " << p.threads
+                << ", \"seconds\": " << p.best_seconds
+                << ", \"queries_per_s\": " << p.queries_per_second
+                << ", \"speedup\": " << p.speedup
+                << ", \"page_reads\": " << p.total_reads
+                << ", \"identical_to_serial\": "
+                << (p.identical_to_serial ? "true" : "false") << "}"
+                << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    std::cout << "  ]\n}\n";
+  } else {
+    Table table({"threads", "seconds", "queries/s", "speedup", "page reads",
+                 "identical"});
+    for (const ThroughputPoint& p : points) {
+      table.AddRow({FormatNumber(static_cast<double>(p.threads), 0),
+                    FormatNumber(p.best_seconds, 4),
+                    FormatNumber(p.queries_per_second, 0),
+                    FormatNumber(p.speedup, 2),
+                    FormatNumber(static_cast<double>(p.total_reads), 0),
+                    p.identical_to_serial ? "yes" : "NO"});
+    }
+    flags.csv() ? table.PrintCsv(std::cout) : table.Print(std::cout);
   }
-  flags.csv() ? table.PrintCsv(std::cout) : table.Print(std::cout);
 
   for (const ThroughputPoint& p : points) {
     if (!p.identical_to_serial) {

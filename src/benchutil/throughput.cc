@@ -24,11 +24,12 @@ SerialReference RunSerialReference(const FlatIndex& index,
                                    size_t pool_pages) {
   SerialReference ref;
   ref.results.resize(batch.size());
+  CrawlScratch scratch;  // reused across the loop, same as an engine worker
   const auto start = Clock::now();
   for (size_t i = 0; i < batch.size(); ++i) {
     QueryResult& r = ref.results[i];
     BufferPool pool(index.file(), &r.io, pool_pages);
-    DispatchQuery(index, batch[i], &pool, &r);
+    DispatchQuery(index, batch[i], &pool, &r, &scratch);
     ref.io += r.io;
   }
   ref.seconds = std::chrono::duration<double>(Clock::now() - start).count();

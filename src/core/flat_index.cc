@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
-#include <deque>
+#include <optional>
 #include <stdexcept>
-#include <unordered_set>
 
+#include "parallel/thread_pool.h"
 #include "rtree/node.h"
 #include "rtree/pack.h"
 
@@ -29,6 +29,12 @@ Aabb BoundsOf(const std::vector<RTreeEntry>& entries) {
 
 FlatIndex FlatIndex::Build(PageFile* file, std::vector<RTreeEntry> elements,
                            BuildStats* out_stats) {
+  return Build(file, std::move(elements), BuildOptions{}, out_stats);
+}
+
+FlatIndex FlatIndex::Build(PageFile* file, std::vector<RTreeEntry> elements,
+                           const BuildOptions& options,
+                           BuildStats* out_stats) {
   FlatIndex index;
   index.file_ = file;
   BuildStats stats;
@@ -38,37 +44,50 @@ FlatIndex FlatIndex::Build(PageFile* file, std::vector<RTreeEntry> elements,
     return index;
   }
 
+  // num_threads == 1 keeps the whole build on the calling thread; any other
+  // value spins up a pool shared by all three phases. Either way the
+  // resulting PageFile is byte-identical (see BuildOptions).
+  std::optional<ThreadPool> owned_pool;
+  ThreadPool* pool = nullptr;
+  if (options.num_threads != 1) {
+    owned_pool.emplace(options.num_threads);
+    pool = &*owned_pool;
+  }
+
   const uint32_t page_capacity = NodeCapacity(file->page_size());
 
   // Phase 1: STR partitioning (Algorithm 1, sorting passes).
   auto t_partition = Clock::now();
   const Aabb universe = BoundsOf(elements);
   std::vector<PartitionInfo> partitions =
-      StrPartition(&elements, page_capacity, universe);
+      StrPartition(&elements, page_capacity, universe, pool);
   stats.partition_seconds = SecondsSince(t_partition);
 
-  // Phase 2: neighborhood computation via the temporary R-tree.
+  // Phase 2: neighborhood computation (grid intersection join).
   auto t_neighbor = Clock::now();
-  ComputeNeighbors(&partitions);
+  ComputeNeighbors(&partitions, pool);
   stats.neighbor_seconds = SecondsSince(t_neighbor);
   stats.partitions = partitions.size();
   stats.neighbor_pointers = TotalNeighborPointers(partitions);
 
-  // Phase 3: materialize object pages and the seed tree.
+  // Phase 3: materialize object pages and the seed tree. PageIds are
+  // allocated serially (deterministic layout); filling the pages fans out —
+  // every worker writes only its own pages.
   auto t_write = Clock::now();
 
   // Object pages: one per partition, elements in STR order.
   std::vector<PageId> object_pages(partitions.size());
   for (size_t i = 0; i < partitions.size(); ++i) {
+    object_pages[i] = file->Allocate(PageCategory::kObject);
+  }
+  ParallelFor(pool, partitions.size(), /*grain=*/0, [&](size_t, size_t i) {
     const PartitionInfo& p = partitions[i];
-    const PageId page = file->Allocate(PageCategory::kObject);
-    NodeWriter writer(file->MutableData(page), file->page_size());
+    NodeWriter writer(file->MutableData(object_pages[i]), file->page_size());
     writer.Init(/*level=*/0);
     for (uint32_t j = 0; j < p.count; ++j) {
       writer.Append(elements[p.first + j]);
     }
-    object_pages[i] = page;
-  }
+  });
   stats.object_pages = partitions.size();
 
   // Assign each metadata record to a seed-leaf page. Records are indexed in
@@ -96,7 +115,7 @@ FlatIndex FlatIndex::Build(PageFile* file, std::vector<RTreeEntry> elements,
   for (size_t i = 0; i < partitions.size(); ++i) {
     record_order[i] = RTreeEntry{partitions[i].page_mbr, i};
   }
-  StrOrder(&record_order, est_records_per_leaf);
+  StrOrder(&record_order, est_records_per_leaf, pool);
 
   std::vector<std::vector<uint32_t>> leaf_members;
   std::vector<RecordRef> refs(partitions.size());
@@ -139,10 +158,10 @@ FlatIndex FlatIndex::Build(PageFile* file, std::vector<RTreeEntry> elements,
     ref.page = leaf_ids[ref.page];
   }
 
-  // Serialize the leaves with fully-resolved neighbor pointers.
-  std::vector<RTreeEntry> leaf_entries;
-  leaf_entries.reserve(leaf_members.size());
-  for (size_t l = 0; l < leaf_members.size(); ++l) {
+  // Serialize the leaves with fully-resolved neighbor pointers; leaves are
+  // disjoint pages, so they serialize in parallel.
+  std::vector<RTreeEntry> leaf_entries(leaf_members.size());
+  ParallelFor(pool, leaf_members.size(), /*grain=*/0, [&](size_t, size_t l) {
     std::vector<MetadataRecordDraft> drafts;
     drafts.reserve(leaf_members[l].size());
     Aabb leaf_bounds;
@@ -160,8 +179,8 @@ FlatIndex FlatIndex::Build(PageFile* file, std::vector<RTreeEntry> elements,
       leaf_bounds.ExpandToInclude(p.page_mbr);
     }
     WriteSeedLeaf(file->MutableData(leaf_ids[l]), file->page_size(), drafts);
-    leaf_entries.push_back(RTreeEntry{leaf_bounds, leaf_ids[l]});
-  }
+    leaf_entries[l] = RTreeEntry{leaf_bounds, leaf_ids[l]};
+  });
   stats.seed_leaf_pages = leaf_members.size();
 
   // Internal levels of the seed tree.
@@ -173,7 +192,7 @@ FlatIndex FlatIndex::Build(PageFile* file, std::vector<RTreeEntry> elements,
     const size_t pages_before = file->page_count();
     RTree upper = BuildUpperLevels(file, leaf_entries, /*level=*/1,
                                    LevelOrder::kStr,
-                                   PageCategory::kSeedInternal);
+                                   PageCategory::kSeedInternal, pool);
     index.seed_root_ = upper.root();
     index.root_is_leaf_ = false;
     index.seed_height_ = upper.height();
@@ -194,8 +213,9 @@ FlatIndex FlatIndex::Build(PageFile* file, std::vector<RTreeEntry> elements,
   return index;
 }
 
+template <typename Accept>
 bool FlatIndex::ProbeRecord(PageCache* pool, const MetadataRecordView& record,
-                            const ElementPredicate& accept) const {
+                            const Accept& accept) const {
   const char* data = pool->Read(record.object_page());
   NodeView elements(data);
   for (uint16_t i = 0; i < elements.count(); ++i) {
@@ -204,8 +224,10 @@ bool FlatIndex::ProbeRecord(PageCache* pool, const MetadataRecordView& record,
   return false;
 }
 
-std::optional<RecordRef> FlatIndex::SeedWhere(
-    PageCache* pool, const Aabb& gate, const ElementPredicate& accept) const {
+template <typename Accept>
+std::optional<RecordRef> FlatIndex::SeedWhere(PageCache* pool,
+                                              const Aabb& gate,
+                                              const Accept& accept) const {
   if (empty() || gate.IsEmpty()) return std::nullopt;
 
   struct Frame {
@@ -240,32 +262,29 @@ std::optional<RecordRef> FlatIndex::SeedWhere(
   return std::nullopt;
 }
 
-void FlatIndex::CrawlWhere(PageCache* pool, const Aabb& gate_box,
-                           RecordRef start, std::vector<uint64_t>* out,
-                           CrawlGuard guard,
-                           const ElementPredicate& accept) const {
+template <typename ScanPage>
+void FlatIndex::CrawlPages(PageCache* pool, const Aabb& gate_box,
+                           RecordRef start, CrawlGuard guard,
+                           CrawlScratch* scratch, const ScanPage& scan) const {
   if (empty() || gate_box.IsEmpty() || !start.valid()) return;
 
-  std::deque<RecordRef> queue;            // breadth-first (Algorithm 2)
-  std::unordered_set<uint64_t> enqueued;  // "visited" bookkeeping
-  queue.push_back(start);
-  enqueued.insert(start.Key());
+  // Only materialize the fallback when the caller brought no scratch; a
+  // caller-owned scratch keeps this path allocation-free.
+  std::optional<CrawlScratch> throwaway;
+  CrawlScratch* s = scratch != nullptr ? scratch : &throwaway.emplace();
+  s->Reset();
+  s->Push(start);  // breadth-first (Algorithm 2)
+  s->Insert(start.Key());
 
-  while (!queue.empty()) {
-    const RecordRef ref = queue.front();
-    queue.pop_front();
-
+  RecordRef ref;
+  while (s->Pop(&ref)) {
     SeedLeafView leaf(pool->Read(ref.page));
     MetadataRecordView record = leaf.RecordAt(ref.slot);
 
     // "The object page is only read from disk if m's page MBR intersects
     // with the query."
     if (record.page_mbr().Intersects(gate_box)) {
-      NodeView elements(pool->Read(record.object_page()));
-      for (uint16_t i = 0; i < elements.count(); ++i) {
-        const RTreeEntry e = elements.EntryAt(i);
-        if (accept(e.box)) out->push_back(e.id);
-      }
+      scan(pool->Read(record.object_page()), s);
     }
 
     // "The neighbor pointers stored in a metadata record M are only followed
@@ -278,9 +297,7 @@ void FlatIndex::CrawlWhere(PageCache* pool, const Aabb& gate_box,
       const uint32_t n = record.neighbor_count();
       for (uint32_t i = 0; i < n; ++i) {
         const RecordRef neighbor = record.NeighborAt(i);
-        if (enqueued.insert(neighbor.Key()).second) {
-          queue.push_back(neighbor);
-        }
+        if (s->Insert(neighbor.Key())) s->Push(neighbor);
       }
     }
   }
@@ -293,20 +310,78 @@ std::optional<RecordRef> FlatIndex::Seed(PageCache* pool,
 }
 
 void FlatIndex::Crawl(PageCache* pool, const Aabb& query, RecordRef start,
-                      std::vector<uint64_t>* out, CrawlGuard guard) const {
-  CrawlWhere(pool, query, start, out, guard,
-             [&query](const Aabb& box) { return box.Intersects(query); });
+                      std::vector<uint64_t>* out, CrawlGuard guard,
+                      CrawlScratch* scratch) const {
+  // Object pages pack their RTreeEntry slots contiguously, so the element
+  // gate runs as one batched sweep over the page.
+  CrawlPages(pool, query, start, guard, scratch,
+             [&query, out](const char* page, CrawlScratch* s) {
+               NodeView elements(page);
+               const uint16_t n = elements.count();
+               uint8_t* hits = s->Hits(n);
+               IntersectsBatch(page + kNodeHeaderSize, sizeof(RTreeEntry), n,
+                               query, hits);
+               for (uint16_t i = 0; i < n; ++i) {
+                 if (hits[i]) out->push_back(elements.IdAt(i));
+               }
+             });
 }
 
 void FlatIndex::RangeQuery(PageCache* pool, const Aabb& query,
                            std::vector<uint64_t>* out, CrawlGuard guard) const {
+  RangeQuery(pool, query, out, nullptr, guard);
+}
+
+void FlatIndex::RangeQuery(PageCache* pool, const Aabb& query,
+                           std::vector<uint64_t>* out, CrawlScratch* scratch,
+                           CrawlGuard guard) const {
   std::optional<RecordRef> start = Seed(pool, query);
   if (!start.has_value()) return;
-  Crawl(pool, query, *start, out, guard);
+  Crawl(pool, query, *start, out, guard, scratch);
 }
+
+size_t FlatIndex::RangeCount(PageCache* pool, const Aabb& query,
+                             CrawlScratch* scratch) const {
+  std::optional<RecordRef> start = Seed(pool, query);
+  if (!start.has_value()) return 0;
+  size_t count = 0;
+  CrawlPages(pool, query, *start, CrawlGuard::kPartitionMbr, scratch,
+             [&query, &count](const char* page, CrawlScratch* s) {
+               NodeView elements(page);
+               const uint16_t n = elements.count();
+               uint8_t* hits = s->Hits(n);
+               IntersectsBatch(page + kNodeHeaderSize, sizeof(RTreeEntry), n,
+                               query, hits);
+               for (uint16_t i = 0; i < n; ++i) count += hits[i];
+             });
+  return count;
+}
+
+namespace {
+
+/// Page scan testing every element against a custom predicate (sphere / kNN
+/// paths, where the batched box gate does not apply).
+template <typename Accept>
+auto PredicateScan(const Accept& accept, std::vector<uint64_t>* out) {
+  return [&accept, out](const char* page, CrawlScratch*) {
+    NodeView elements(page);
+    for (uint16_t i = 0; i < elements.count(); ++i) {
+      const RTreeEntry e = elements.EntryAt(i);
+      if (accept(e.box)) out->push_back(e.id);
+    }
+  };
+}
+
+}  // namespace
 
 std::vector<uint64_t> FlatIndex::KnnQuery(PageCache* pool, const Vec3& center,
                                           size_t k) const {
+  return KnnQuery(pool, center, k, nullptr);
+}
+
+std::vector<uint64_t> FlatIndex::KnnQuery(PageCache* pool, const Vec3& center,
+                                          size_t k,
+                                          CrawlScratch* scratch) const {
   std::vector<uint64_t> result;
   if (empty() || k == 0) return result;
 
@@ -328,8 +403,8 @@ std::vector<uint64_t> FlatIndex::KnnQuery(PageCache* pool, const Vec3& center,
 
   // Sphere-crawl with doubling radius until at least k elements lie within
   // the ball. The accept predicate records each accepted element's distance
-  // in the same order CrawlWhere records its id, so pairing by position is
-  // exact. Once k elements are inside radius r, the true k-th nearest is at
+  // in the same order the PredicateScan crawl records its id, so pairing by
+  // position is exact. Once k elements are inside radius r, the true k-th nearest is at
   // distance <= r, hence all true top-k were inside the ball: ranking the
   // candidates is exact.
   for (int attempt = 0; attempt < 64; ++attempt) {
@@ -339,8 +414,7 @@ std::vector<uint64_t> FlatIndex::KnnQuery(PageCache* pool, const Vec3& center,
         Aabb::FromCenterHalfExtents(center, Vec3(radius, radius, radius));
     std::vector<double> distances;
     std::vector<uint64_t> ids;
-    const ElementPredicate accept = [&center, radius2,
-                                     &distances](const Aabb& box) {
+    const auto accept = [&center, radius2, &distances](const Aabb& box) {
       const double d2 = box.DistanceSquaredTo(center);
       if (d2 > radius2) return false;
       distances.push_back(d2);
@@ -349,8 +423,8 @@ std::vector<uint64_t> FlatIndex::KnnQuery(PageCache* pool, const Vec3& center,
     std::optional<RecordRef> start = SeedWhere(pool, gate, accept);
     distances.clear();  // seed probes also ran the predicate
     if (start.has_value()) {
-      CrawlWhere(pool, gate, *start, &ids, CrawlGuard::kPartitionMbr,
-                 accept);
+      CrawlPages(pool, gate, *start, CrawlGuard::kPartitionMbr, scratch,
+                 PredicateScan(accept, &ids));
     }
     // The last attempt returns whatever was found (k may exceed the data
     // set size).
@@ -374,15 +448,22 @@ std::vector<uint64_t> FlatIndex::KnnQuery(PageCache* pool, const Vec3& center,
 
 void FlatIndex::SphereQuery(PageCache* pool, const Vec3& center,
                             double radius, std::vector<uint64_t>* out) const {
+  SphereQuery(pool, center, radius, out, nullptr);
+}
+
+void FlatIndex::SphereQuery(PageCache* pool, const Vec3& center,
+                            double radius, std::vector<uint64_t>* out,
+                            CrawlScratch* scratch) const {
   if (radius < 0.0) return;
   const Aabb gate = Aabb::FromCenterHalfExtents(
       center, Vec3(radius, radius, radius));
-  const ElementPredicate accept = [&center, radius](const Aabb& box) {
+  const auto accept = [&center, radius](const Aabb& box) {
     return box.IntersectsSphere(center, radius);
   };
   std::optional<RecordRef> start = SeedWhere(pool, gate, accept);
   if (!start.has_value()) return;
-  CrawlWhere(pool, gate, *start, out, CrawlGuard::kPartitionMbr, accept);
+  CrawlPages(pool, gate, *start, CrawlGuard::kPartitionMbr, scratch,
+             PredicateScan(accept, out));
 }
 
 void FlatIndex::RangeQueryViaSeedScan(PageCache* pool, const Aabb& query,
@@ -392,6 +473,7 @@ void FlatIndex::RangeQueryViaSeedScan(PageCache* pool, const Aabb& query,
     PageId page;
     bool is_leaf;
   };
+  std::vector<uint8_t> hits;  // reused across object pages
   std::vector<Frame> stack = {{seed_root_, root_is_leaf_}};
   while (!stack.empty()) {
     const Frame frame = stack.back();
@@ -401,10 +483,24 @@ void FlatIndex::RangeQueryViaSeedScan(PageCache* pool, const Aabb& query,
       for (uint16_t slot = 0; slot < leaf.count(); ++slot) {
         MetadataRecordView record = leaf.RecordAt(slot);
         if (!record.page_mbr().Intersects(query)) continue;
-        NodeView elements(pool->Read(record.object_page()));
-        for (uint16_t i = 0; i < elements.count(); ++i) {
-          const RTreeEntry e = elements.EntryAt(i);
-          if (e.box.Intersects(query)) out->push_back(e.id);
+        const char* page = pool->Read(record.object_page());
+        NodeView elements(page);
+        const uint16_t n = elements.count();
+        if (hits.size() < n) hits.resize(n);
+        IntersectsBatch(page + kNodeHeaderSize, sizeof(RTreeEntry), n, query,
+                        hits.data());
+        // Amortized reservation keeps vector growth out of the measurement
+        // for this ablation baseline. Every object page belongs to exactly
+        // one metadata record and every leaf is visited once, so the output
+        // needs no de-duplication afterwards.
+        size_t matched = 0;
+        for (uint16_t i = 0; i < n; ++i) matched += hits[i];
+        const size_t need = out->size() + matched;
+        if (out->capacity() < need) {
+          out->reserve(std::max(need, out->capacity() * 2));
+        }
+        for (uint16_t i = 0; i < n; ++i) {
+          if (hits[i]) out->push_back(elements.IdAt(i));
         }
       }
       continue;

@@ -2,10 +2,10 @@
 #define FLAT_CORE_FLAT_INDEX_H_
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <vector>
 
+#include "core/crawl_scratch.h"
 #include "core/metadata.h"
 #include "core/partitioner.h"
 #include "geometry/aabb.h"
@@ -62,6 +62,16 @@ class FlatIndex {
   /// failure.
   enum class CrawlGuard { kPartitionMbr, kPageMbr };
 
+  /// Options for the build pipeline.
+  struct BuildOptions {
+    /// Worker threads: 1 (default) builds serially on the calling thread,
+    /// 0 uses std::thread::hardware_concurrency(). Every thread count
+    /// produces a byte-identical PageFile — the sorting passes use a strict
+    /// total order and all page writes happen at deterministic PageIds
+    /// (verified by tests/parallel_build_test.cc).
+    size_t num_threads = 1;
+  };
+
   FlatIndex() = default;
 
   /// Bulkloads `elements` into a fresh FLAT index appended to `file`.
@@ -69,18 +79,34 @@ class FlatIndex {
   static FlatIndex Build(PageFile* file, std::vector<RTreeEntry> elements,
                          BuildStats* stats = nullptr);
 
+  /// As above, with the parallel build pipeline: STR sorting passes, the
+  /// neighbor join, and page serialization all fan out over
+  /// `options.num_threads` workers, with the per-phase BuildStats timings
+  /// still measured at the (sequential) phase boundaries.
+  static FlatIndex Build(PageFile* file, std::vector<RTreeEntry> elements,
+                         const BuildOptions& options,
+                         BuildStats* stats = nullptr);
+
   bool empty() const { return seed_root_ == kInvalidPageId; }
 
   /// Appends the ids of all elements whose MBR intersects `query`.
+  ///
+  /// `scratch` (optional, here and on every other query entry point) is the
+  /// caller-owned crawl scratch: pass the same instance across queries — one
+  /// per thread — to make the crawl hot path allocation-free. nullptr uses a
+  /// throwaway scratch; results and I/O are identical either way.
   void RangeQuery(PageCache* pool, const Aabb& query,
                   std::vector<uint64_t>* out,
                   CrawlGuard guard = CrawlGuard::kPartitionMbr) const;
+  void RangeQuery(PageCache* pool, const Aabb& query,
+                  std::vector<uint64_t>* out, CrawlScratch* scratch,
+                  CrawlGuard guard = CrawlGuard::kPartitionMbr) const;
 
-  size_t RangeCount(PageCache* pool, const Aabb& query) const {
-    std::vector<uint64_t> ids;
-    RangeQuery(pool, query, &ids);
-    return ids.size();
-  }
+  /// Number of elements RangeQuery would return, without materializing the
+  /// id vector: the crawl tallies the batched gate tests directly. Reads the
+  /// same pages, so IoStats match RangeQuery exactly.
+  size_t RangeCount(PageCache* pool, const Aabb& query,
+                    CrawlScratch* scratch = nullptr) const;
 
   /// Appends the ids of all elements whose MBR intersects the closed ball
   /// around `center` — the structural-neighborhood primitive of Section
@@ -89,6 +115,8 @@ class FlatIndex {
   /// box-to-sphere distance.
   void SphereQuery(PageCache* pool, const Vec3& center, double radius,
                    std::vector<uint64_t>* out) const;
+  void SphereQuery(PageCache* pool, const Vec3& center, double radius,
+                   std::vector<uint64_t>* out, CrawlScratch* scratch) const;
 
   /// The ids of (at least) the `k` elements whose MBRs are closest to
   /// `center`, nearest first. Implemented as iterative-deepening sphere
@@ -98,6 +126,8 @@ class FlatIndex {
   /// paper's incremental structural-neighborhood use case.
   std::vector<uint64_t> KnnQuery(PageCache* pool, const Vec3& center,
                                  size_t k) const;
+  std::vector<uint64_t> KnnQuery(PageCache* pool, const Vec3& center, size_t k,
+                                 CrawlScratch* scratch) const;
 
   /// Rebuilds an index over `elements` appended to `file`. The paper's
   /// update story (Section IV): data changes arrive "in batches" and
@@ -106,6 +136,11 @@ class FlatIndex {
   static FlatIndex Rebuild(PageFile* file, std::vector<RTreeEntry> elements,
                            BuildStats* stats = nullptr) {
     return Build(file, std::move(elements), stats);
+  }
+  static FlatIndex Rebuild(PageFile* file, std::vector<RTreeEntry> elements,
+                           const BuildOptions& options,
+                           BuildStats* stats = nullptr) {
+    return Build(file, std::move(elements), options, stats);
   }
 
   /// Compact handle describing a built index inside its PageFile; together
@@ -144,7 +179,8 @@ class FlatIndex {
   /// query yields the same result set.
   void Crawl(PageCache* pool, const Aabb& query, RecordRef start,
              std::vector<uint64_t>* out,
-             CrawlGuard guard = CrawlGuard::kPartitionMbr) const;
+             CrawlGuard guard = CrawlGuard::kPartitionMbr,
+             CrawlScratch* scratch = nullptr) const;
 
   /// All record addresses whose page MBR intersects `query`; test hook for
   /// the seed-independence property (walks without charging I/O).
@@ -172,24 +208,29 @@ class FlatIndex {
   const PageFile* file() const { return file_; }
 
  private:
-  /// Element-level acceptance test: queries differ only in how an element
-  /// MBR is matched (box intersection, sphere distance, ...); the page and
-  /// partition MBR gates always use the query's bounding box.
-  using ElementPredicate = std::function<bool(const Aabb&)>;
+  // The seed and crawl phases are generic over how elements are matched
+  // (box intersection, sphere distance, ...) and what happens per object
+  // page (append ids, count, ...). Templates keep the hot loops free of
+  // std::function indirection; all instantiations live in flat_index.cc.
 
   // Scans one metadata record during the seed phase; returns true on hit.
+  template <typename Accept>
   bool ProbeRecord(PageCache* pool, const MetadataRecordView& record,
-                   const ElementPredicate& accept) const;
+                   const Accept& accept) const;
 
   // Generalized seed phase: finds a record whose object page holds an
   // accepted element, pruning by `gate` (the query's bounding box).
+  template <typename Accept>
   std::optional<RecordRef> SeedWhere(PageCache* pool, const Aabb& gate,
-                                     const ElementPredicate& accept) const;
+                                     const Accept& accept) const;
 
-  // Generalized crawl (Algorithm 2) with a custom element test.
-  void CrawlWhere(PageCache* pool, const Aabb& gate, RecordRef start,
-                  std::vector<uint64_t>* out, CrawlGuard guard,
-                  const ElementPredicate& accept) const;
+  // Generalized crawl (Algorithm 2): BFS over neighbor pointers, calling
+  // scan(page_data, scratch) for every object page whose page MBR passes the
+  // query gate. Uses `scratch` when given, else a throwaway.
+  template <typename ScanPage>
+  void CrawlPages(PageCache* pool, const Aabb& gate, RecordRef start,
+                  CrawlGuard guard, CrawlScratch* scratch,
+                  const ScanPage& scan) const;
 
   const PageFile* file_ = nullptr;
   PageId seed_root_ = kInvalidPageId;

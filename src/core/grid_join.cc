@@ -1,0 +1,114 @@
+#include "core/grid_join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "parallel/thread_pool.h"
+
+namespace flat {
+namespace {
+
+/// Uniform grid over the bounding box of the input. Cells are addressed by
+/// integer coordinates; a box maps to the (clamped) range of cells its
+/// corners fall into.
+struct Grid {
+  Vec3 lo;
+  double inv[3];
+  size_t dims[3];
+
+  size_t CellIndex(size_t ix, size_t iy, size_t iz) const {
+    return (iz * dims[1] + iy) * dims[0] + ix;
+  }
+
+  size_t CellCoord(double value, int axis) const {
+    const double scaled = (value - lo[axis]) * inv[axis];
+    if (!(scaled > 0.0)) return 0;  // also catches NaN
+    const size_t coord = static_cast<size_t>(scaled);
+    return std::min(coord, dims[axis] - 1);
+  }
+
+  /// Invokes fn(cell) for every cell the box overlaps.
+  template <typename Fn>
+  void ForEachCell(const Aabb& box, const Fn& fn) const {
+    if (box.IsEmpty()) return;
+    size_t cell_lo[3];
+    size_t cell_hi[3];
+    for (int axis = 0; axis < 3; ++axis) {
+      cell_lo[axis] = CellCoord(box.lo()[axis], axis);
+      cell_hi[axis] = CellCoord(box.hi()[axis], axis);
+    }
+    for (size_t iz = cell_lo[2]; iz <= cell_hi[2]; ++iz) {
+      for (size_t iy = cell_lo[1]; iy <= cell_hi[1]; ++iy) {
+        for (size_t ix = cell_lo[0]; ix <= cell_hi[0]; ++ix) {
+          fn(CellIndex(ix, iy, iz));
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void GridIntersectionJoin(const std::vector<Aabb>& boxes, ThreadPool* pool,
+                          std::vector<std::vector<uint32_t>>* neighbors) {
+  const size_t n = boxes.size();
+  neighbors->assign(n, {});
+  if (n <= 1) return;
+
+  Aabb bounds;
+  for (const Aabb& box : boxes) bounds.ExpandToInclude(box);
+
+  Grid grid;
+  grid.lo = bounds.lo();
+  const size_t per_axis = std::max<size_t>(
+      1, static_cast<size_t>(std::cbrt(static_cast<double>(n))));
+  const Vec3 extent = bounds.Extents();
+  for (int axis = 0; axis < 3; ++axis) {
+    grid.dims[axis] = extent[axis] > 0.0 ? per_axis : 1;
+    grid.inv[axis] =
+        extent[axis] > 0.0
+            ? static_cast<double>(grid.dims[axis]) / extent[axis]
+            : 0.0;
+  }
+  const size_t cells = grid.dims[0] * grid.dims[1] * grid.dims[2];
+
+  // CSR cell -> box-index lists via two counting passes (linear, cheap next
+  // to the probe phase).
+  std::vector<uint32_t> start(cells + 1, 0);
+  for (const Aabb& box : boxes) {
+    grid.ForEachCell(box, [&](size_t cell) { ++start[cell + 1]; });
+  }
+  for (size_t cell = 0; cell < cells; ++cell) start[cell + 1] += start[cell];
+  std::vector<uint32_t> items(start[cells]);
+  std::vector<uint32_t> fill(start.begin(), start.end() - 1);
+  for (size_t i = 0; i < n; ++i) {
+    grid.ForEachCell(boxes[i], [&](size_t cell) {
+      items[fill[cell]++] = static_cast<uint32_t>(i);
+    });
+  }
+
+  // Probe phase, parallel over boxes. Sorting each candidate list both
+  // removes the duplicates a multi-cell box produces and yields the
+  // ascending output order directly; the per-worker scratch vector keeps the
+  // loop free of per-box allocations after warm-up.
+  std::vector<std::vector<uint32_t>> scratch(WorkerCount(pool));
+  ParallelFor(pool, n, /*grain=*/0, [&](size_t worker, size_t i) {
+    std::vector<uint32_t>& candidates = scratch[worker];
+    candidates.clear();
+    grid.ForEachCell(boxes[i], [&](size_t cell) {
+      candidates.insert(candidates.end(), items.begin() + start[cell],
+                        items.begin() + start[cell + 1]);
+    });
+    std::sort(candidates.begin(), candidates.end());
+    std::vector<uint32_t>& out = (*neighbors)[i];
+    uint32_t previous = UINT32_MAX;
+    for (uint32_t j : candidates) {
+      if (j == previous) continue;
+      previous = j;
+      if (j != i && boxes[i].Intersects(boxes[j])) out.push_back(j);
+    }
+  });
+}
+
+}  // namespace flat

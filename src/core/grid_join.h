@@ -1,0 +1,27 @@
+#ifndef FLAT_CORE_GRID_JOIN_H_
+#define FLAT_CORE_GRID_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/aabb.h"
+
+namespace flat {
+
+class ThreadPool;
+
+/// All-pairs box intersection join on a uniform grid: for every box i, fills
+/// (*neighbors)[i] with the ascending indices of all *other* boxes whose MBR
+/// intersects box i (closed intervals, exactly Aabb::Intersects).
+///
+/// This is the "Finding Neighbors" engine behind ComputeNeighbors. Boxes are
+/// binned into a grid of ~cbrt(n) cells per axis — about one box per cell for
+/// STR-tiled inputs — then each box probes the cells it overlaps. No
+/// temporary R-tree is built, and the probes run in parallel when `pool` is
+/// non-null. The output depends only on `boxes`, never on the thread count.
+void GridIntersectionJoin(const std::vector<Aabb>& boxes, ThreadPool* pool,
+                          std::vector<std::vector<uint32_t>>* neighbors);
+
+}  // namespace flat
+
+#endif  // FLAT_CORE_GRID_JOIN_H_

@@ -4,19 +4,13 @@
 #include <cassert>
 #include <cmath>
 
-#include "rtree/mem_rtree.h"
+#include "core/grid_join.h"
+#include "parallel/parallel_sort.h"
+#include "parallel/thread_pool.h"
 #include "rtree/pack.h"
 
 namespace flat {
 namespace {
-
-void SortRangeByCenter(std::vector<RTreeEntry>* elements, size_t begin,
-                       size_t end, int axis) {
-  std::sort(elements->begin() + begin, elements->begin() + end,
-            [axis](const RTreeEntry& a, const RTreeEntry& b) {
-              return a.box.Center()[axis] < b.box.Center()[axis];
-            });
-}
 
 // Boundary between two adjacent chunks on `axis`: midway between the last
 // center of the left chunk and the first center of the right chunk. Using
@@ -58,7 +52,8 @@ std::vector<Chunk> MakeChunks(const std::vector<RTreeEntry>& elements,
 
 std::vector<PartitionInfo> StrPartition(std::vector<RTreeEntry>* elements,
                                         uint32_t page_capacity,
-                                        const Aabb& universe) {
+                                        const Aabb& universe,
+                                        ThreadPool* pool) {
   assert(page_capacity >= 1);
   std::vector<PartitionInfo> partitions;
   const size_t n = elements->size();
@@ -69,63 +64,88 @@ std::vector<PartitionInfo> StrPartition(std::vector<RTreeEntry>* elements,
   const size_t sx = CeilCbrt(total_pages);
   const size_t x_chunk = (n + sx - 1) / sx;
 
-  SortRangeByCenter(elements, 0, n, 0);
+  ParallelSort(pool, elements->begin(), elements->end(), EntryCenterOrder{0});
   const std::vector<Chunk> x_chunks = MakeChunks(
       *elements, 0, n, x_chunk, 0, universe.lo().x, universe.hi().x);
 
-  for (const Chunk& xc : x_chunks) {
+  // y pass: the x-slabs are independent ranges, sorted in parallel.
+  ParallelFor(pool, x_chunks.size(), /*grain=*/1, [&](size_t, size_t s) {
+    std::sort(elements->begin() + x_chunks[s].begin,
+              elements->begin() + x_chunks[s].end, EntryCenterOrder{1});
+  });
+
+  // Collect every y-run (with its owning x-slab) so the z pass can sort all
+  // runs in one parallel sweep.
+  struct Run {
+    size_t x_index;
+    Chunk y;
+  };
+  std::vector<Run> runs;
+  for (size_t s = 0; s < x_chunks.size(); ++s) {
+    const Chunk& xc = x_chunks[s];
     const size_t m = xc.end - xc.begin;
     const size_t slab_pages = (m + page_capacity - 1) / page_capacity;
     const size_t sy = CeilSqrt(slab_pages);
     const size_t y_chunk = (m + sy - 1) / sy;
+    for (const Chunk& yc : MakeChunks(*elements, xc.begin, xc.end, y_chunk, 1,
+                                      universe.lo().y, universe.hi().y)) {
+      runs.push_back({s, yc});
+    }
+  }
 
-    SortRangeByCenter(elements, xc.begin, xc.end, 1);
-    const std::vector<Chunk> y_chunks =
-        MakeChunks(*elements, xc.begin, xc.end, y_chunk, 1, universe.lo().y,
-                   universe.hi().y);
-
-    for (const Chunk& yc : y_chunks) {
-      SortRangeByCenter(elements, yc.begin, yc.end, 2);
-      const std::vector<Chunk> z_chunks =
-          MakeChunks(*elements, yc.begin, yc.end, page_capacity, 2,
-                     universe.lo().z, universe.hi().z);
-
-      for (const Chunk& zc : z_chunks) {
-        PartitionInfo partition;
-        partition.first = static_cast<uint32_t>(zc.begin);
-        partition.count = static_cast<uint32_t>(zc.end - zc.begin);
-        partition.tile = Aabb(Vec3(xc.lo, yc.lo, zc.lo),
-                              Vec3(xc.hi, yc.hi, zc.hi));
-        Aabb page_mbr;
-        for (size_t i = zc.begin; i < zc.end; ++i) {
-          page_mbr.ExpandToInclude((*elements)[i].box);
-        }
-        partition.page_mbr = page_mbr;
-        partition.partition_mbr = partition.tile;
-        partition.partition_mbr.ExpandToInclude(page_mbr);  // stretch
-        partitions.push_back(std::move(partition));
+  // z pass: sort each run, split it into page-sized z-chunks, and emit the
+  // run's partitions (tile, page MBR, stretched partition MBR). Runs write
+  // into their own slot, then concatenate in run order, so the partition
+  // sequence matches the serial construction exactly.
+  std::vector<std::vector<PartitionInfo>> per_run(runs.size());
+  ParallelFor(pool, runs.size(), /*grain=*/1, [&](size_t, size_t r) {
+    const Chunk& xc = x_chunks[runs[r].x_index];
+    const Chunk& yc = runs[r].y;
+    std::sort(elements->begin() + yc.begin, elements->begin() + yc.end,
+              EntryCenterOrder{2});
+    const std::vector<Chunk> z_chunks =
+        MakeChunks(*elements, yc.begin, yc.end, page_capacity, 2,
+                   universe.lo().z, universe.hi().z);
+    per_run[r].reserve(z_chunks.size());
+    for (const Chunk& zc : z_chunks) {
+      PartitionInfo partition;
+      partition.first = static_cast<uint32_t>(zc.begin);
+      partition.count = static_cast<uint32_t>(zc.end - zc.begin);
+      partition.tile =
+          Aabb(Vec3(xc.lo, yc.lo, zc.lo), Vec3(xc.hi, yc.hi, zc.hi));
+      Aabb page_mbr;
+      for (size_t i = zc.begin; i < zc.end; ++i) {
+        page_mbr.ExpandToInclude((*elements)[i].box);
       }
+      partition.page_mbr = page_mbr;
+      partition.partition_mbr = partition.tile;
+      partition.partition_mbr.ExpandToInclude(page_mbr);  // stretch
+      per_run[r].push_back(std::move(partition));
+    }
+  });
+  for (std::vector<PartitionInfo>& run_partitions : per_run) {
+    for (PartitionInfo& partition : run_partitions) {
+      partitions.push_back(std::move(partition));
     }
   }
   return partitions;
 }
 
-void ComputeNeighbors(std::vector<PartitionInfo>* partitions) {
+void ComputeNeighbors(std::vector<PartitionInfo>* partitions,
+                      ThreadPool* pool) {
   std::vector<Aabb> boxes;
   boxes.reserve(partitions->size());
   for (const PartitionInfo& p : *partitions) {
     boxes.push_back(p.partition_mbr);
   }
-  // "All partition MBRs are inserted into a temporary R-Tree, used solely to
-  // compute the neighborhood information" (Section V-A).
-  MemRTree index(boxes);
+  // Algorithm 1 inserts all partition MBRs "into a temporary R-Tree, used
+  // solely to compute the neighborhood information"; the grid join computes
+  // the identical relation without putting a tree build on the critical
+  // path, and probes the partitions in parallel.
+  std::vector<std::vector<uint32_t>> neighbors;
+  GridIntersectionJoin(boxes, pool, &neighbors);
   for (size_t i = 0; i < partitions->size(); ++i) {
-    PartitionInfo& p = (*partitions)[i];
-    p.neighbors.clear();
-    index.ForEachIntersecting(p.partition_mbr, [&](uint32_t j) {
-      if (j != i) p.neighbors.push_back(j);
-    });
-    std::sort(p.neighbors.begin(), p.neighbors.end());
+    (*partitions)[i].neighbors = std::move(neighbors[i]);
   }
 }
 

@@ -9,6 +9,8 @@
 
 namespace flat {
 
+class ThreadPool;
+
 /// One space partition produced by Algorithm 1. Refers to a contiguous range
 /// [first, first + count) of the (reordered) element array; that range is
 /// exactly what gets packed onto one object page.
@@ -36,15 +38,26 @@ struct PartitionInfo {
 ///
 /// `elements` is reordered in place; on return, partition i owns
 /// elements [first, first+count).
+///
+/// With a `pool`, the x pass runs as a parallel merge sort and the per-slab
+/// y / per-run z passes sort independent ranges in parallel. The sorting
+/// passes use a strict total order (EntryCenterOrder), so the element order —
+/// and therefore every downstream page — is identical for any thread count.
 std::vector<PartitionInfo> StrPartition(std::vector<RTreeEntry>* elements,
                                         uint32_t page_capacity,
-                                        const Aabb& universe);
+                                        const Aabb& universe,
+                                        ThreadPool* pool = nullptr);
 
 /// Fills `neighbors` for every partition: two partitions are neighbors iff
 /// their partition MBRs intersect (closed intervals, so face-adjacent tiles
-/// qualify). Uses a temporary in-memory R-tree exactly as Algorithm 1
-/// prescribes. The relation is symmetric and irreflexive.
-void ComputeNeighbors(std::vector<PartitionInfo>* partitions);
+/// qualify). The relation is symmetric and irreflexive, and each list is
+/// sorted ascending. Implemented as a uniform-grid intersection join
+/// (GridIntersectionJoin) instead of Algorithm 1's temporary R-tree: the
+/// same relation, no tree construction on the critical path, and partitions
+/// probe the grid in parallel when `pool` is given. Output is independent of
+/// the thread count.
+void ComputeNeighbors(std::vector<PartitionInfo>* partitions,
+                      ThreadPool* pool = nullptr);
 
 /// Total number of neighbor pointers across all partitions.
 uint64_t TotalNeighborPointers(const std::vector<PartitionInfo>& partitions);

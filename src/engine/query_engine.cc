@@ -9,31 +9,16 @@
 namespace flat {
 
 QueryEngine::QueryEngine(const FlatIndex* index, Options options)
-    : index_(index), options_(options) {
-  size_t threads = options_.threads;
-  if (threads == 0) {
-    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
-  }
-  options_.threads = threads;
-
-  queues_.reserve(threads);
-  for (size_t i = 0; i < threads; ++i) {
+    : index_(index), options_(options), pool_(options.threads) {
+  options_.threads = pool_.threads();
+  queues_.reserve(pool_.threads());
+  for (size_t i = 0; i < pool_.threads(); ++i) {
     queues_.push_back(std::make_unique<WorkerQueue>());
   }
-  workers_.reserve(threads);
-  for (size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this, i] { WorkerLoop(i); });
-  }
+  scratches_ = std::vector<CrawlScratch>(pool_.threads());
 }
 
-QueryEngine::~QueryEngine() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;
-  }
-  work_cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
-}
+QueryEngine::~QueryEngine() = default;
 
 std::vector<QueryResult> QueryEngine::Run(const std::vector<Query>& batch,
                                           BatchStats* stats) {
@@ -46,7 +31,7 @@ std::vector<QueryResult> QueryEngine::Run(const std::vector<Query>& batch,
     // Block-partition the batch: contiguous runs keep neighboring queries —
     // which workloads tend to generate with spatial locality — on one
     // worker; stealing rebalances the tail.
-    const size_t threads = workers_.size();
+    const size_t threads = pool_.threads();
     const size_t per_worker = (batch.size() + threads - 1) / threads;
     for (size_t w = 0; w < threads; ++w) {
       std::lock_guard<std::mutex> lock(queues_[w]->mu);
@@ -60,24 +45,16 @@ std::vector<QueryResult> QueryEngine::Run(const std::vector<Query>& batch,
     if (options_.cache_mode == CacheMode::kSharedStriped) {
       shared_cache.emplace(index_->file(), options_.shared_cache_pages);
     }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      job_.batch = &batch;
-      job_.results = &results;
-      job_.shared_cache = shared_cache.has_value() ? &*shared_cache : nullptr;
-      active_workers_ = threads;
-      ++generation_;
-    }
-    work_cv_.notify_all();
-
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this] { return active_workers_ == 0; });
-    job_ = Job{};
+    Job job;
+    job.batch = &batch;
+    job.results = &results;
+    job.shared_cache = shared_cache.has_value() ? &*shared_cache : nullptr;
+    pool_.RunOnAllWorkers([this, &job](size_t w) { ProcessQueue(w, job); });
   }
 
   if (stats != nullptr) {
     *stats = BatchStats{};
-    stats->threads = workers_.size();
+    stats->threads = pool_.threads();
     for (const QueryResult& r : results) {
       stats->io += r.io;
       stats->result_elements += r.ids.size();
@@ -89,33 +66,12 @@ std::vector<QueryResult> QueryEngine::Run(const std::vector<Query>& batch,
   return results;
 }
 
-void QueryEngine::WorkerLoop(size_t worker_index) {
-  uint64_t seen_generation = 0;
-  for (;;) {
-    Job job;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this, seen_generation] {
-        return shutdown_ || generation_ != seen_generation;
-      });
-      if (shutdown_) return;
-      seen_generation = generation_;
-      job = job_;
-    }
-    ProcessQueue(worker_index, job);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--active_workers_ == 0) done_cv_.notify_all();
-    }
-  }
-}
-
 void QueryEngine::ProcessQueue(size_t worker_index, const Job& job) {
   size_t query_index;
   while (PopOwn(worker_index, &query_index) ||
          Steal(worker_index, &query_index)) {
     ExecuteQuery(job, (*job.batch)[query_index],
-                 &(*job.results)[query_index]);
+                 &(*job.results)[query_index], &scratches_[worker_index]);
   }
 }
 
@@ -142,29 +98,31 @@ bool QueryEngine::Steal(size_t worker_index, size_t* query_index) {
 }
 
 void DispatchQuery(const FlatIndex& index, const Query& query,
-                   PageCache* cache, QueryResult* result) {
+                   PageCache* cache, QueryResult* result,
+                   CrawlScratch* scratch) {
   switch (query.type) {
     case Query::Type::kRange:
-      index.RangeQuery(cache, query.box, &result->ids, query.guard);
+      index.RangeQuery(cache, query.box, &result->ids, scratch, query.guard);
       break;
     case Query::Type::kKnn:
-      result->ids = index.KnnQuery(cache, query.center, query.k);
+      result->ids = index.KnnQuery(cache, query.center, query.k, scratch);
       break;
     case Query::Type::kSphere:
-      index.SphereQuery(cache, query.center, query.radius, &result->ids);
+      index.SphereQuery(cache, query.center, query.radius, &result->ids,
+                        scratch);
       break;
   }
 }
 
 void QueryEngine::ExecuteQuery(const Job& job, const Query& query,
-                               QueryResult* result) {
+                               QueryResult* result, CrawlScratch* scratch) {
   if (job.shared_cache != nullptr) {
     StripedBufferPool::Session session(job.shared_cache, &result->io);
-    DispatchQuery(*index_, query, &session, result);
+    DispatchQuery(*index_, query, &session, result, scratch);
     return;
   }
   BufferPool pool(index_->file(), &result->io, options_.pool_pages);
-  DispatchQuery(*index_, query, &pool, result);
+  DispatchQuery(*index_, query, &pool, result, scratch);
 }
 
 }  // namespace flat

@@ -1,17 +1,17 @@
 #ifndef FLAT_ENGINE_QUERY_ENGINE_H_
 #define FLAT_ENGINE_QUERY_ENGINE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
+#include "core/crawl_scratch.h"
 #include "core/flat_index.h"
 #include "geometry/aabb.h"
 #include "geometry/vec3.h"
+#include "parallel/thread_pool.h"
 #include "storage/io_stats.h"
 #include "storage/striped_buffer_pool.h"
 
@@ -66,8 +66,11 @@ struct QueryResult {
 /// Runs one query against `index` through `cache` via the serial FlatIndex
 /// code path, appending ids into `result->ids`. The single dispatch point
 /// shared by the engine's workers and the serial reference harness.
+/// `scratch` is the caller's reusable crawl scratch (one per thread);
+/// nullptr falls back to a throwaway — results are identical either way.
 void DispatchQuery(const FlatIndex& index, const Query& query,
-                   PageCache* cache, QueryResult* result);
+                   PageCache* cache, QueryResult* result,
+                   CrawlScratch* scratch = nullptr);
 
 /// Aggregate outcome of one batch execution.
 struct BatchStats {
@@ -82,10 +85,12 @@ struct BatchStats {
 
 /// Parallel batch query engine over a FlatIndex.
 ///
-/// A fixed pool of worker threads executes a batch of range / kNN / sphere
-/// queries. The batch is block-partitioned into per-worker deques; a worker
-/// that drains its own deque steals from the back of its siblings', so skewed
-/// batches (a few crawl-heavy queries among many cheap ones) still balance.
+/// A shared ThreadPool (src/parallel/) executes a batch of range / kNN /
+/// sphere queries. The batch is block-partitioned into per-worker deques; a
+/// worker that drains its own deque steals from the back of its siblings', so
+/// skewed batches (a few crawl-heavy queries among many cheap ones) still
+/// balance. Each worker owns one CrawlScratch reused across all its queries,
+/// keeping the crawl hot path allocation-free.
 ///
 /// Each query runs the unmodified serial FlatIndex code path, so per-query
 /// result vectors are bit-identical to serial execution no matter the thread
@@ -125,7 +130,7 @@ class QueryEngine {
   std::vector<QueryResult> Run(const std::vector<Query>& batch,
                                BatchStats* stats = nullptr);
 
-  size_t threads() const { return workers_.size(); }
+  size_t threads() const { return pool_.threads(); }
   const Options& options() const { return options_; }
 
  private:
@@ -140,26 +145,18 @@ class QueryEngine {
     StripedBufferPool* shared_cache = nullptr;
   };
 
-  void WorkerLoop(size_t worker_index);
   void ProcessQueue(size_t worker_index, const Job& job);
   bool PopOwn(size_t worker_index, size_t* query_index);
   bool Steal(size_t worker_index, size_t* query_index);
-  void ExecuteQuery(const Job& job, const Query& query, QueryResult* result);
+  void ExecuteQuery(const Job& job, const Query& query, QueryResult* result,
+                    CrawlScratch* scratch);
 
   const FlatIndex* index_;
   Options options_;
 
+  ThreadPool pool_;
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
-  std::vector<std::thread> workers_;
-
-  // Batch dispatch state, guarded by mu_.
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  uint64_t generation_ = 0;
-  size_t active_workers_ = 0;
-  bool shutdown_ = false;
-  Job job_;
+  std::vector<CrawlScratch> scratches_;  // one per worker
 };
 
 }  // namespace flat

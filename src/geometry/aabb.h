@@ -1,6 +1,8 @@
 #ifndef FLAT_GEOMETRY_AABB_H_
 #define FLAT_GEOMETRY_AABB_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <ostream>
 
@@ -179,6 +181,15 @@ class Aabb {
 inline std::ostream& operator<<(std::ostream& os, const Aabb& b) {
   return os << "[" << b.lo() << " .. " << b.hi() << "]";
 }
+
+/// Batched intersection gate for contiguous record MBRs: tests `count` boxes
+/// laid out `stride` bytes apart starting at `boxes`, each in the Aabb object
+/// layout (lo.x lo.y lo.z hi.x hi.y hi.z as doubles — e.g. the RTreeEntry
+/// slots of an object page). Sets hits[i] to 1 iff box i is non-empty and
+/// intersects `query`, exactly matching Aabb::Intersects for a non-empty
+/// `query`. The inner loop is branch-free so compilers can vectorize it.
+void IntersectsBatch(const char* boxes, size_t stride, size_t count,
+                     const Aabb& query, uint8_t* hits);
 
 }  // namespace flat
 

@@ -1,0 +1,60 @@
+#ifndef FLAT_PARALLEL_PARALLEL_SORT_H_
+#define FLAT_PARALLEL_PARALLEL_SORT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace flat {
+
+/// Elements below this count are sorted serially; chunking overhead dominates
+/// any win on smaller inputs.
+inline constexpr size_t kMinParallelSortSize = 1 << 13;
+
+/// Sorts [first, last) with `comp`, splitting the range into one chunk per
+/// worker, sorting the chunks in parallel, then merging adjacent chunk pairs
+/// in parallel rounds. `pool == nullptr` (or a tiny range) falls back to
+/// std::sort on the calling thread.
+///
+/// Determinism: when `comp` is a strict *total* order (no two distinct
+/// elements compare equal) the sorted permutation is unique, so the output is
+/// byte-identical for every thread count — the invariant FLAT's parallel
+/// build relies on. With a mere weak order, ties may land in different
+/// positions than std::sort would put them.
+template <typename Iter, typename Comp>
+void ParallelSort(ThreadPool* pool, Iter first, Iter last, Comp comp) {
+  const size_t n = static_cast<size_t>(last - first);
+  if (pool == nullptr || pool->threads() <= 1 || n < kMinParallelSortSize) {
+    std::sort(first, last, comp);
+    return;
+  }
+
+  const size_t chunks = std::min(pool->threads(), n);
+  std::vector<size_t> bounds(chunks + 1);
+  for (size_t c = 0; c <= chunks; ++c) bounds[c] = n * c / chunks;
+
+  pool->ParallelFor(chunks, /*grain=*/1, [&](size_t, size_t c) {
+    std::sort(first + bounds[c], first + bounds[c + 1], comp);
+  });
+
+  // log2(chunks) rounds of pairwise merges; each round's merges touch
+  // disjoint ranges, so they run in parallel.
+  for (size_t width = 1; width < chunks; width *= 2) {
+    const size_t stride = 2 * width;
+    const size_t pairs = (chunks + stride - 1) / stride;
+    pool->ParallelFor(pairs, /*grain=*/1, [&](size_t, size_t p) {
+      const size_t lo = p * stride;
+      const size_t mid = lo + width;
+      if (mid >= chunks) return;  // odd tail carries over to the next round
+      const size_t hi = std::min(lo + stride, chunks);
+      std::inplace_merge(first + bounds[lo], first + bounds[mid],
+                         first + bounds[hi], comp);
+    });
+  }
+}
+
+}  // namespace flat
+
+#endif  // FLAT_PARALLEL_PARALLEL_SORT_H_

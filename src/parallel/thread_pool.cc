@@ -1,0 +1,85 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace flat {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::RunOnAllWorkers(const std::function<void(size_t)>& fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  task_ = &fn;
+  active_workers_ = workers_.size();
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return active_workers_ == 0; });
+  task_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(size_t worker) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(size_t)>* task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, seen_generation] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      task = task_;
+    }
+    (*task)(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t count, size_t grain,
+    const std::function<void(size_t worker, size_t index)>& fn) {
+  if (count == 0) return;
+  if (grain == 0) {
+    grain = std::max<size_t>(1, count / (workers_.size() * 8));
+  }
+  std::atomic<size_t> cursor{0};
+  RunOnAllWorkers([&](size_t worker) {
+    for (;;) {
+      const size_t begin = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= count) return;
+      const size_t end = std::min(count, begin + grain);
+      for (size_t index = begin; index < end; ++index) fn(worker, index);
+    }
+  });
+}
+
+void ParallelFor(ThreadPool* pool, size_t count, size_t grain,
+                 const std::function<void(size_t worker, size_t index)>& fn) {
+  if (pool == nullptr || pool->threads() == 1 || count <= 1) {
+    for (size_t index = 0; index < count; ++index) fn(0, index);
+    return;
+  }
+  pool->ParallelFor(count, grain, fn);
+}
+
+}  // namespace flat

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "parallel/parallel_sort.h"
+#include "parallel/thread_pool.h"
 #include "rtree/node.h"
 
 namespace flat {
@@ -26,19 +28,8 @@ size_t CeilSqrt(size_t value) {
   return r;
 }
 
-namespace {
-
-// Sorts [first, last) by center coordinate on `axis`.
-void SortByCenter(std::vector<RTreeEntry>::iterator first,
-                  std::vector<RTreeEntry>::iterator last, int axis) {
-  std::sort(first, last, [axis](const RTreeEntry& a, const RTreeEntry& b) {
-    return a.box.Center()[axis] < b.box.Center()[axis];
-  });
-}
-
-}  // namespace
-
-void StrOrder(std::vector<RTreeEntry>* entries, uint32_t node_capacity) {
+void StrOrder(std::vector<RTreeEntry>* entries, uint32_t node_capacity,
+              ThreadPool* pool) {
   const size_t n = entries->size();
   if (n <= node_capacity) return;
   const size_t pages = (n + node_capacity - 1) / node_capacity;
@@ -48,21 +39,35 @@ void StrOrder(std::vector<RTreeEntry>* entries, uint32_t node_capacity) {
   const size_t sx = CeilCbrt(pages);
   const size_t slab_size = (n + sx - 1) / sx;
 
-  SortByCenter(entries->begin(), entries->end(), 0);
-  for (size_t xs = 0; xs < n; xs += slab_size) {
-    const size_t xe = std::min(n, xs + slab_size);
-    SortByCenter(entries->begin() + xs, entries->begin() + xe, 1);
+  ParallelSort(pool, entries->begin(), entries->end(), EntryCenterOrder{0});
 
-    const size_t slab_n = xe - xs;
+  struct Range {
+    size_t begin;
+    size_t end;
+  };
+  std::vector<Range> slabs;
+  for (size_t xs = 0; xs < n; xs += slab_size) {
+    slabs.push_back({xs, std::min(n, xs + slab_size)});
+  }
+  ParallelFor(pool, slabs.size(), /*grain=*/1, [&](size_t, size_t s) {
+    std::sort(entries->begin() + slabs[s].begin,
+              entries->begin() + slabs[s].end, EntryCenterOrder{1});
+  });
+
+  std::vector<Range> runs;
+  for (const Range& slab : slabs) {
+    const size_t slab_n = slab.end - slab.begin;
     const size_t slab_pages = (slab_n + node_capacity - 1) / node_capacity;
     const size_t sy = CeilSqrt(slab_pages);
     const size_t run_size = (slab_n + sy - 1) / sy;
-
-    for (size_t ys = xs; ys < xe; ys += run_size) {
-      const size_t ye = std::min(xe, ys + run_size);
-      SortByCenter(entries->begin() + ys, entries->begin() + ye, 2);
+    for (size_t ys = slab.begin; ys < slab.end; ys += run_size) {
+      runs.push_back({ys, std::min(slab.end, ys + run_size)});
     }
   }
+  ParallelFor(pool, runs.size(), /*grain=*/1, [&](size_t, size_t r) {
+    std::sort(entries->begin() + runs[r].begin, entries->begin() + runs[r].end,
+              EntryCenterOrder{2});
+  });
 }
 
 std::vector<RTreeEntry> PackLevel(PageFile* file,
@@ -91,12 +96,12 @@ std::vector<RTreeEntry> PackLevel(PageFile* file,
 
 RTree BuildUpperLevels(PageFile* file, std::vector<RTreeEntry> level_entries,
                        uint8_t level, LevelOrder order,
-                       PageCategory internal_category) {
+                       PageCategory internal_category, ThreadPool* pool) {
   assert(!level_entries.empty());
   const uint32_t capacity = NodeCapacity(file->page_size());
   while (level_entries.size() > 1) {
     if (order == LevelOrder::kStr) {
-      StrOrder(&level_entries, capacity);
+      StrOrder(&level_entries, capacity, pool);
     }
     level_entries = PackLevel(file, level_entries, level,
                               PageCategory::kRTreeLeaf, internal_category);

@@ -9,6 +9,34 @@
 
 namespace flat {
 
+class ThreadPool;
+
+/// Strict *total* order on entries for the STR sorting passes: center
+/// coordinate on `axis`, tie-broken lexicographically by the box corners and
+/// finally the id. A total order makes the sorted permutation unique, so
+/// serial std::sort and the chunk-and-merge ParallelSort produce the same
+/// layout — the property behind "parallel build is byte-identical to serial".
+/// Entries that still compare equal are byte-identical, so their relative
+/// order cannot affect the output pages either.
+struct EntryCenterOrder {
+  int axis;
+
+  bool operator()(const RTreeEntry& a, const RTreeEntry& b) const {
+    const double ca = a.box.Center()[axis];
+    const double cb = b.box.Center()[axis];
+    if (ca != cb) return ca < cb;
+    for (int ax = 0; ax < 3; ++ax) {
+      if (a.box.lo()[ax] != b.box.lo()[ax]) {
+        return a.box.lo()[ax] < b.box.lo()[ax];
+      }
+      if (a.box.hi()[ax] != b.box.hi()[ax]) {
+        return a.box.hi()[ax] < b.box.hi()[ax];
+      }
+    }
+    return a.id < b.id;
+  }
+};
+
 /// How a bulkloader arranges the entries of each tree level before packing
 /// them into consecutive full pages.
 enum class LevelOrder {
@@ -23,8 +51,11 @@ enum class LevelOrder {
 /// ICDE '97 — reference [16]): sort by x-center into vertical slabs, each slab
 /// by y-center into runs, each run by z-center. `node_capacity` determines the
 /// tile size so that consecutive runs of `node_capacity` entries form tight
-/// tiles.
-void StrOrder(std::vector<RTreeEntry>* entries, uint32_t node_capacity);
+/// tiles. With a `pool` the x pass is a parallel merge sort and the per-slab
+/// y / per-run z passes sort independent ranges in parallel; the output is
+/// identical to the serial order (EntryCenterOrder is total).
+void StrOrder(std::vector<RTreeEntry>* entries, uint32_t node_capacity,
+              ThreadPool* pool = nullptr);
 
 /// Exact ceil(value^(1/3)) / ceil(sqrt(value)) on integers (std::cbrt(27.0)
 /// can land just above 3.0, which would silently mis-tile STR).
@@ -42,11 +73,13 @@ std::vector<RTreeEntry> PackLevel(
 
 /// Repeatedly packs levels until a single root remains; `level_entries` are
 /// the parents of the already-written level `level - 1`. Returns the finished
-/// tree.
+/// tree. `pool` parallelizes the per-level STR re-ordering (page writes stay
+/// serial so PageIds are allocated in a deterministic order).
 RTree BuildUpperLevels(
     PageFile* file, std::vector<RTreeEntry> level_entries, uint8_t level,
     LevelOrder order,
-    PageCategory internal_category = PageCategory::kRTreeInternal);
+    PageCategory internal_category = PageCategory::kRTreeInternal,
+    ThreadPool* pool = nullptr);
 
 /// Bulkloads from pre-ordered leaf entries: packs leaves in the given order,
 /// then builds upper levels per `order`. The workhorse shared by every

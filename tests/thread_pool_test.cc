@@ -1,0 +1,128 @@
+#include "parallel/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "parallel/parallel_sort.h"
+#include "rtree/pack.h"
+#include "tests/test_util.h"
+
+namespace flat {
+namespace {
+
+TEST(ThreadPoolTest, ZeroThreadsDefaultsToHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.threads(), 1u);
+}
+
+TEST(ThreadPoolTest, RunOnAllWorkersVisitsEveryWorkerOnce) {
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.threads(), 4u);
+  std::vector<std::atomic<int>> visits(4);
+  pool.RunOnAllWorkers([&](size_t worker) {
+    ASSERT_LT(worker, 4u);
+    ++visits[worker];
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kCount = 10000;
+  std::vector<std::atomic<uint32_t>> touched(kCount);
+  pool.ParallelFor(kCount, /*grain=*/0, [&](size_t worker, size_t index) {
+    ASSERT_LT(worker, pool.threads());
+    ++touched[index];
+  });
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(touched[i].load(), 1u) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForReusableAcrossDispatches) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(100, /*grain=*/7, [&](size_t, size_t index) {
+      sum.fetch_add(index, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 100u * 99u / 2);
+  }
+}
+
+TEST(ThreadPoolTest, FreeParallelForWithNullPoolRunsSeriallyAsWorkerZero) {
+  std::vector<size_t> order;
+  ParallelFor(nullptr, 5, 0, [&](size_t worker, size_t index) {
+    EXPECT_EQ(worker, 0u);
+    order.push_back(index);
+  });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ParallelForZeroCountIsANoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, 0, [&](size_t, size_t) { FAIL(); });
+  ParallelFor(nullptr, 0, 0, [&](size_t, size_t) { FAIL(); });
+}
+
+TEST(ParallelSortTest, MatchesSerialSortOnRandomData) {
+  std::mt19937_64 rng(99);
+  std::vector<uint64_t> values(200000);
+  for (auto& v : values) v = rng() % 1000;  // plenty of duplicates
+
+  std::vector<uint64_t> expected = values;
+  std::sort(expected.begin(), expected.end());
+
+  ThreadPool pool(4);
+  ParallelSort(&pool, values.begin(), values.end(), std::less<uint64_t>());
+  EXPECT_EQ(values, expected);
+}
+
+TEST(ParallelSortTest, SmallInputFallsBackToSerial) {
+  std::vector<int> values = {5, 3, 1, 4, 2};
+  ThreadPool pool(4);
+  ParallelSort(&pool, values.begin(), values.end(), std::less<int>());
+  EXPECT_EQ(values, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(ParallelSortTest, TotalOrderEntriesIdenticalToSerialAtAnyThreadCount) {
+  // The build-determinism property at its root: with the total
+  // EntryCenterOrder, ParallelSort must produce exactly std::sort's output.
+  const auto base = testing::RandomEntries(50000, 17);
+  std::vector<RTreeEntry> serial = base;
+  std::sort(serial.begin(), serial.end(), EntryCenterOrder{1});
+
+  for (size_t threads : {2, 3, 5, 8}) {
+    std::vector<RTreeEntry> parallel = base;
+    ThreadPool pool(threads);
+    ParallelSort(&pool, parallel.begin(), parallel.end(), EntryCenterOrder{1});
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(parallel[i].id, serial[i].id)
+          << "divergence at " << i << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(EntryCenterOrderTest, IsAStrictTotalOrderOnDistinctEntries) {
+  // Identical centers, distinct ids: the tie-break must order them.
+  const Aabb box(Vec3(1, 1, 1), Vec3(2, 2, 2));
+  const RTreeEntry a{box, 1};
+  const RTreeEntry b{box, 2};
+  EntryCenterOrder order{0};
+  EXPECT_TRUE(order(a, b));
+  EXPECT_FALSE(order(b, a));
+  EXPECT_FALSE(order(a, a));
+
+  // Same center, different extents: corners break the tie before ids.
+  const RTreeEntry wide{Aabb(Vec3(0.5, 1, 1), Vec3(2.5, 2, 2)), 9};
+  EXPECT_TRUE(order(wide, a));
+  EXPECT_FALSE(order(a, wide));
+}
+
+}  // namespace
+}  // namespace flat
