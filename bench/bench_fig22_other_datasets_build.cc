@@ -1,6 +1,7 @@
 // Figure 22 (table): index size and build time, FLAT vs PR-Tree, on the
 // non-neuroscience data sets of Section VIII. The proprietary/third-party
-// data is replaced by synthetic equivalents (DESIGN.md §3): Nuage cosmology
+// data is replaced by synthetic equivalents (see the src/data/ generator
+// headers and docs/benchmarks.md): Nuage cosmology
 // snapshots -> Plummer-cluster n-body sets; the 173M-triangle brain surface
 // mesh -> folded-sheet mesh; the Lucy statue scan -> composite-shell mesh.
 // Paper: FLAT needs modestly more space and time than the PR-Tree's *size*,

@@ -1,0 +1,144 @@
+// Scatter-gather scaling of the ShardedFlatStore: build time and batch
+// query throughput vs. shard count, with every sharded run validated
+// bit-for-bit (canonical sorted order) against one unsharded FlatIndex.
+//
+// Flags: --scale --queries --seed --csv --threads=N (store build + engine
+// workers, default 4) --shards-max=N (sweep 1,2,4,...,N; default 8)
+// --json (emit the sweep as a JSON document, e.g. for a BENCH_shard.json
+// baseline). Exits non-zero if any sharded result diverges.
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "benchutil/flags.h"
+#include "benchutil/table.h"
+#include "core/flat_index.h"
+#include "data/query_generator.h"
+#include "data/uniform_generator.h"
+#include "engine/query_engine.h"
+#include "shard/sharded_flat_store.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+int main(int argc, char** argv) {
+  using namespace flat;
+  using Clock = std::chrono::steady_clock;
+  BenchFlags flags(argc, argv);
+
+  UniformBoxParams params;
+  params.count = flags.Scaled(100000);
+  params.seed = flags.seed();
+  Dataset dataset = GenerateUniformBoxes(params);
+
+  RangeWorkloadParams workload;
+  workload.count = static_cast<size_t>(flags.GetInt("queries", 500));
+  workload.volume_fraction = 2e-6;
+  workload.seed = flags.seed() + 1;
+  const std::vector<Aabb> boxes =
+      GenerateRangeWorkload(dataset.bounds, workload);
+  std::vector<Query> batch;
+  batch.reserve(boxes.size());
+  for (const Aabb& box : boxes) batch.push_back(Query::Range(box));
+
+  const size_t threads =
+      static_cast<size_t>(flags.GetInt("threads", 4));
+  const size_t shards_max =
+      static_cast<size_t>(flags.GetInt("shards-max", 8));
+  std::vector<size_t> shard_counts;
+  for (size_t k = 1; k <= shards_max; k *= 2) shard_counts.push_back(k);
+
+  // Unsharded reference: canonical (sorted) result per query, cold cache.
+  PageFile reference_file;
+  FlatIndex reference = FlatIndex::Build(&reference_file, dataset.elements);
+  std::vector<std::vector<uint64_t>> expected(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    IoStats io;
+    BufferPool pool(&reference_file, &io);
+    reference.RangeQuery(&pool, batch[i].box, &expected[i]);
+    std::sort(expected[i].begin(), expected[i].end());
+  }
+
+  std::ostream& info = flags.GetInt("json", 0) != 0 ? std::cerr : std::cout;
+  info << "# " << dataset.elements.size() << " uniform elements, "
+       << batch.size() << " range queries, " << threads
+       << " worker threads, cold cache per sub-query\n";
+
+  struct Point {
+    size_t target_shards = 0;
+    size_t actual_shards = 0;
+    double build_seconds = 0.0;
+    double query_seconds = 0.0;
+    uint64_t page_reads = 0;
+    bool identical = true;
+  };
+  std::vector<Point> points;
+
+  for (size_t k : shard_counts) {
+    Point p;
+    p.target_shards = k;
+
+    const auto t_build = Clock::now();
+    ShardedFlatStore::BuildStats build_stats;
+    ShardedFlatStore store = ShardedFlatStore::Build(
+        dataset.elements, {.num_shards = k, .num_threads = threads},
+        &build_stats);
+    p.build_seconds =
+        std::chrono::duration<double>(Clock::now() - t_build).count();
+    p.actual_shards = store.shard_count();
+
+    BatchStats stats;
+    std::vector<QueryResult> results = store.RunBatch(batch, &stats);
+    p.query_seconds = stats.wall_seconds;
+    p.page_reads = stats.io.TotalReads();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (results[i].ids != expected[i]) {
+        p.identical = false;
+        break;
+      }
+    }
+    points.push_back(p);
+  }
+
+  if (flags.GetInt("json", 0) != 0) {
+    std::cout << "{\n"
+              << "  \"bench\": \"shard_scaling\",\n"
+              << "  \"elements\": " << dataset.elements.size() << ",\n"
+              << "  \"queries\": " << batch.size() << ",\n"
+              << "  \"threads\": " << threads << ",\n"
+              << "  \"points\": [\n";
+    for (size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      std::cout << "    {\"target_shards\": " << p.target_shards
+                << ", \"shards\": " << p.actual_shards
+                << ", \"build_seconds\": " << p.build_seconds
+                << ", \"query_seconds\": " << p.query_seconds
+                << ", \"page_reads\": " << p.page_reads
+                << ", \"identical_to_unsharded\": "
+                << (p.identical ? "true" : "false") << "}"
+                << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    std::cout << "  ]\n}\n";
+  } else {
+    Table table({"target K", "shards", "build s", "query s", "page reads",
+                 "identical"});
+    for (const Point& p : points) {
+      table.AddRow({FormatNumber(static_cast<double>(p.target_shards), 0),
+                    FormatNumber(static_cast<double>(p.actual_shards), 0),
+                    FormatNumber(p.build_seconds, 4),
+                    FormatNumber(p.query_seconds, 4),
+                    FormatNumber(static_cast<double>(p.page_reads), 0),
+                    p.identical ? "yes" : "NO"});
+    }
+    flags.csv() ? table.PrintCsv(std::cout) : table.Print(std::cout);
+  }
+
+  for (const Point& p : points) {
+    if (!p.identical) {
+      std::cerr << "ERROR: sharded results diverged from unsharded at K="
+                << p.target_shards << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -32,6 +32,13 @@ namespace flat {
 /// neighbor pointers, Algorithm 2); their I/O is charged to the BufferPool's
 /// IoStats under the kSeedInternal / kSeedLeaf / kObject categories,
 /// reproducing the paper's Figure 14/18 breakdowns.
+///
+/// Thread-safety: a built (or attached) FlatIndex is immutable, and every
+/// query entry point is const and touches no shared mutable state — queries
+/// may run concurrently from any number of threads provided each thread
+/// uses its own PageCache (and its own CrawlScratch, when passed). That is
+/// exactly how the QueryEngine parallelizes batches. Build/Attach/move must
+/// not race with queries on the same object.
 class FlatIndex {
  public:
   /// Timing and layout information captured during Build, matching the
@@ -72,6 +79,8 @@ class FlatIndex {
     size_t num_threads = 1;
   };
 
+  /// An unbuilt index: empty() is true, queries have no PageFile to read
+  /// from and must not be issued (engines treat such an index as "no data").
   FlatIndex() = default;
 
   /// Bulkloads `elements` into a fresh FLAT index appended to `file`.
@@ -87,6 +96,7 @@ class FlatIndex {
                          const BuildOptions& options,
                          BuildStats* stats = nullptr);
 
+  /// True when the index holds no elements (never built, or built empty).
   bool empty() const { return seed_root_ == kInvalidPageId; }
 
   /// Appends the ids of all elements whose MBR intersects `query`.
@@ -152,6 +162,7 @@ class FlatIndex {
     int seed_height = 0;
   };
 
+  /// The handle to persist alongside the PageFile (see Attach).
   Descriptor descriptor() const {
     return Descriptor{seed_root_, root_is_leaf_, seed_height_};
   }
@@ -195,7 +206,12 @@ class FlatIndex {
   void RangeQueryViaSeedScan(PageCache* pool, const Aabb& query,
                              std::vector<uint64_t>* out) const;
 
+  /// Timings and layout figures of the Build that produced this index
+  /// (zeroed for attached indexes — they are not persisted).
   const BuildStats& build_stats() const { return build_stats_; }
+
+  /// Per-partition volume/neighbor figures for the Figure 20/21 analyses
+  /// (empty for attached indexes).
   const std::vector<PartitionProfile>& partition_profiles() const {
     return partition_profiles_;
   }

@@ -1,8 +1,8 @@
 #include "engine/query_engine.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
-#include <optional>
 
 #include "storage/buffer_pool.h"
 
@@ -22,12 +22,27 @@ QueryEngine::~QueryEngine() = default;
 
 std::vector<QueryResult> QueryEngine::Run(const std::vector<Query>& batch,
                                           BatchStats* stats) {
+  if (index_ == nullptr) {
+    // Loud, not assert-only: in Release an assert would vanish and every
+    // query would silently come back empty through the null-index path.
+    throw std::logic_error(
+        "QueryEngine::Run(vector<Query>) requires an engine bound to an "
+        "index; use RunMulti on an index-free engine");
+  }
+  std::vector<IndexedQuery> indexed(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    indexed[i].index = index_;
+    indexed[i].query = batch[i];
+  }
+  return RunMulti(indexed, stats);
+}
+
+std::vector<QueryResult> QueryEngine::RunMulti(
+    const std::vector<IndexedQuery>& batch, BatchStats* stats) {
   const auto start = std::chrono::steady_clock::now();
   std::vector<QueryResult> results(batch.size());
 
-  // A default-constructed (never built) index has no PageFile to read from;
-  // every query legitimately returns empty.
-  if (!batch.empty() && index_->file() != nullptr) {
+  if (!batch.empty()) {
     // Block-partition the batch: contiguous runs keep neighboring queries —
     // which workloads tend to generate with spatial locality — on one
     // worker; stealing rebalances the tail.
@@ -41,14 +56,24 @@ std::vector<QueryResult> QueryEngine::Run(const std::vector<Query>& batch,
       for (size_t i = first; i < last; ++i) queues_[w]->items.push_back(i);
     }
 
-    std::optional<StripedBufferPool> shared_cache;
+    // In shared-cache mode, one striped pool per distinct PageFile in the
+    // batch. Built single-threaded before the fan-out, read-only during it.
+    SharedCacheMap shared_caches;
     if (options_.cache_mode == CacheMode::kSharedStriped) {
-      shared_cache.emplace(index_->file(), options_.shared_cache_pages);
+      for (const IndexedQuery& iq : batch) {
+        if (iq.index == nullptr || iq.index->file() == nullptr) continue;
+        std::unique_ptr<StripedBufferPool>& slot =
+            shared_caches[iq.index->file()];
+        if (slot == nullptr) {
+          slot = std::make_unique<StripedBufferPool>(
+              iq.index->file(), options_.shared_cache_pages);
+        }
+      }
     }
     Job job;
     job.batch = &batch;
     job.results = &results;
-    job.shared_cache = shared_cache.has_value() ? &*shared_cache : nullptr;
+    job.shared_caches = shared_caches.empty() ? nullptr : &shared_caches;
     pool_.RunOnAllWorkers([this, &job](size_t w) { ProcessQueue(w, job); });
   }
 
@@ -57,7 +82,7 @@ std::vector<QueryResult> QueryEngine::Run(const std::vector<Query>& batch,
     stats->threads = pool_.threads();
     for (const QueryResult& r : results) {
       stats->io += r.io;
-      stats->result_elements += r.ids.size();
+      stats->result_elements += r.count;
     }
     stats->wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -103,26 +128,41 @@ void DispatchQuery(const FlatIndex& index, const Query& query,
   switch (query.type) {
     case Query::Type::kRange:
       index.RangeQuery(cache, query.box, &result->ids, scratch, query.guard);
+      result->count = result->ids.size();
+      break;
+    case Query::Type::kRangeCount:
+      result->count = index.RangeCount(cache, query.box, scratch);
+      break;
+    case Query::Type::kSeedScan:
+      index.RangeQueryViaSeedScan(cache, query.box, &result->ids);
+      result->count = result->ids.size();
       break;
     case Query::Type::kKnn:
       result->ids = index.KnnQuery(cache, query.center, query.k, scratch);
+      result->count = result->ids.size();
       break;
     case Query::Type::kSphere:
       index.SphereQuery(cache, query.center, query.radius, &result->ids,
                         scratch);
+      result->count = result->ids.size();
       break;
   }
 }
 
-void QueryEngine::ExecuteQuery(const Job& job, const Query& query,
+void QueryEngine::ExecuteQuery(const Job& job, const IndexedQuery& iq,
                                QueryResult* result, CrawlScratch* scratch) {
-  if (job.shared_cache != nullptr) {
-    StripedBufferPool::Session session(job.shared_cache, &result->io);
-    DispatchQuery(*index_, query, &session, result, scratch);
+  // A null or never-built index has no PageFile to read from; the query
+  // legitimately returns empty.
+  if (iq.index == nullptr || iq.index->file() == nullptr) return;
+  if (job.shared_caches != nullptr) {
+    auto it = job.shared_caches->find(iq.index->file());
+    assert(it != job.shared_caches->end());
+    StripedBufferPool::Session session(it->second.get(), &result->io);
+    DispatchQuery(*iq.index, iq.query, &session, result, scratch);
     return;
   }
-  BufferPool pool(index_->file(), &result->io, options_.pool_pages);
-  DispatchQuery(*index_, query, &pool, result, scratch);
+  BufferPool pool(iq.index->file(), &result->io, options_.pool_pages);
+  DispatchQuery(*iq.index, iq.query, &pool, result, scratch);
 }
 
 }  // namespace flat

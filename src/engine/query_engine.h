@@ -5,24 +5,31 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "core/crawl_scratch.h"
 #include "core/flat_index.h"
 #include "geometry/aabb.h"
-#include "geometry/vec3.h"
 #include "parallel/thread_pool.h"
 #include "storage/io_stats.h"
 #include "storage/striped_buffer_pool.h"
 
 namespace flat {
 
-/// One query in a batch submitted to the QueryEngine.
+/// One query in a batch submitted to the QueryEngine. Plain value type;
+/// freely copyable and safe to share across threads once constructed.
 struct Query {
-  enum class Type { kRange, kKnn, kSphere };
+  enum class Type {
+    kRange,       ///< ids of elements intersecting `box` (seed + crawl).
+    kRangeCount,  ///< count only; same page reads as kRange, no id vector.
+    kSeedScan,    ///< kRange answered via the seed tree alone (ablation plan).
+    kKnn,         ///< `k` nearest element MBRs around `center`.
+    kSphere,      ///< ids of elements intersecting the ball around `center`.
+  };
 
   Type type = Type::kRange;
-  Aabb box;                // kRange
+  Aabb box;                // kRange / kRangeCount / kSeedScan
   Vec3 center;             // kKnn / kSphere
   double radius = 0.0;     // kSphere
   size_t k = 0;            // kKnn
@@ -35,6 +42,25 @@ struct Query {
     q.type = Type::kRange;
     q.box = box;
     q.guard = guard;
+    return q;
+  }
+
+  /// Count-only range query: reads the same pages as Range (identical
+  /// IoStats) but reports only `QueryResult::count`, never materializing ids.
+  static Query RangeCount(const Aabb& box) {
+    Query q;
+    q.type = Type::kRangeCount;
+    q.box = box;
+    return q;
+  }
+
+  /// Range query executed through FlatIndex::RangeQueryViaSeedScan — the
+  /// "use the seed tree as a plain R-Tree" ablation plan. Same result set as
+  /// Range, different page reads.
+  static Query RangeSeedScan(const Aabb& box) {
+    Query q;
+    q.type = Type::kSeedScan;
+    q.box = box;
     return q;
   }
 
@@ -57,17 +83,29 @@ struct Query {
 
 /// Result of one query: element ids in index traversal order (identical to
 /// what the serial FlatIndex call produces) plus the query's own I/O
-/// breakdown.
+/// breakdown. For kRangeCount queries `ids` stays empty and `count` carries
+/// the tally; for every other type `count == ids.size()`.
 struct QueryResult {
   std::vector<uint64_t> ids;
+  uint64_t count = 0;
   IoStats io;
 };
 
+/// A query paired with the index it runs against, for multi-index batches
+/// (e.g. the scatter phase of ShardedFlatStore). `index` may be null or
+/// unbuilt, in which case the query legitimately yields an empty result.
+struct IndexedQuery {
+  const FlatIndex* index = nullptr;
+  Query query;
+};
+
 /// Runs one query against `index` through `cache` via the serial FlatIndex
-/// code path, appending ids into `result->ids`. The single dispatch point
-/// shared by the engine's workers and the serial reference harness.
-/// `scratch` is the caller's reusable crawl scratch (one per thread);
-/// nullptr falls back to a throwaway — results are identical either way.
+/// code path, appending ids into `result->ids` and setting `result->count`.
+/// The single dispatch point shared by the engine's workers and the serial
+/// reference harness. `scratch` is the caller's reusable crawl scratch (one
+/// per thread); nullptr falls back to a throwaway — results are identical
+/// either way. Thread-safe for distinct (cache, result, scratch) triples:
+/// FlatIndex queries are const and share no mutable state.
 void DispatchQuery(const FlatIndex& index, const Query& query,
                    PageCache* cache, QueryResult* result,
                    CrawlScratch* scratch = nullptr);
@@ -78,30 +116,46 @@ struct BatchStats {
   /// per category — to executing the batch serially with a cold cache per
   /// query (the paper's methodology).
   IoStats io;
+  /// Sum of every query's `count` (ids for materializing queries, tallies
+  /// for kRangeCount).
   uint64_t result_elements = 0;
   double wall_seconds = 0.0;
   size_t threads = 0;
 };
 
-/// Parallel batch query engine over a FlatIndex.
+/// Parallel batch query engine.
 ///
-/// A shared ThreadPool (src/parallel/) executes a batch of range / kNN /
-/// sphere queries. The batch is block-partitioned into per-worker deques; a
-/// worker that drains its own deque steals from the back of its siblings', so
-/// skewed batches (a few crawl-heavy queries among many cheap ones) still
-/// balance. Each worker owns one CrawlScratch reused across all its queries,
-/// keeping the crawl hot path allocation-free.
+/// A fixed ThreadPool (src/parallel/) executes a batch of queries. The batch
+/// is block-partitioned into per-worker deques; a worker that drains its own
+/// deque steals from the back of its siblings', so skewed batches (a few
+/// crawl-heavy queries among many cheap ones) still balance. Each worker owns
+/// one CrawlScratch reused across all its queries, keeping the crawl hot path
+/// allocation-free.
+///
+/// The engine runs in one of two shapes:
+///  - bound to a single FlatIndex (the original API): `Run(vector<Query>)`.
+///  - index-free (constructed from Options alone): `RunMulti` executes each
+///    query against its own index — this is the fan-out primitive behind
+///    ShardedFlatStore's scatter-gather, where one batch mixes sub-queries
+///    for many shards and the work-stealing pool balances across all of
+///    them. (Distinctly named, not an overload, so `Run({...})` braced
+///    calls stay unambiguous.)
 ///
 /// Each query runs the unmodified serial FlatIndex code path, so per-query
 /// result vectors are bit-identical to serial execution no matter the thread
 /// count. I/O accounting is per query and merged into BatchStats:
 ///
-///  - kColdPerQuery (default): every query gets a fresh BufferPool over the
-///    shared PageFile — cold cache per query, exactly the paper's benchmark
+///  - kColdPerQuery (default): every query gets a fresh BufferPool over its
+///    index's PageFile — cold cache per query, exactly the paper's benchmark
 ///    methodology — so merged totals equal serial execution's.
-///  - kSharedStriped: all queries share one StripedBufferPool; results are
-///    unchanged but total reads shrink because the batch shares the cache
-///    (the multi-client serving scenario).
+///  - kSharedStriped: queries share one StripedBufferPool per distinct
+///    PageFile in the batch; results are unchanged but total reads shrink
+///    because the batch shares the cache (the multi-client serving scenario).
+///
+/// Thread-safety: construction and destruction must happen on one thread;
+/// `Run` must not be called concurrently from multiple threads (queue the
+/// batches instead — that is what a batch is for). The indexes queried must
+/// stay alive and unmodified for the duration of `Run`.
 class QueryEngine {
  public:
   enum class CacheMode { kColdPerQuery, kSharedStriped };
@@ -111,24 +165,38 @@ class QueryEngine {
     size_t threads = 0;
     /// Per-query BufferPool capacity in kColdPerQuery mode (0 = unbounded).
     size_t pool_pages = 0;
-    /// Shared cache capacity in kSharedStriped mode (0 = unbounded).
+    /// Shared cache capacity in kSharedStriped mode (0 = unbounded),
+    /// per distinct PageFile in the batch.
     size_t shared_cache_pages = 0;
     CacheMode cache_mode = CacheMode::kColdPerQuery;
   };
 
+  /// Engine bound to one index; `Run(vector<Query>)` targets it.
   explicit QueryEngine(const FlatIndex* index)
       : QueryEngine(index, Options()) {}
   QueryEngine(const FlatIndex* index, Options options);
+
+  /// Index-free engine for multi-index batches; only RunMulti may be used
+  /// (the single-index Run throws std::logic_error).
+  explicit QueryEngine(Options options) : QueryEngine(nullptr, options) {}
+
   ~QueryEngine();
 
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
-  /// Executes `batch`, returning one QueryResult per query in batch order.
-  /// Not safe to call concurrently from multiple threads (queue the batches
-  /// instead — that is what a batch is for).
+  /// Executes `batch` against the bound index, returning one QueryResult per
+  /// query in batch order. Requires construction with a non-null index
+  /// (throws std::logic_error on an index-free engine).
   std::vector<QueryResult> Run(const std::vector<Query>& batch,
                                BatchStats* stats = nullptr);
+
+  /// Executes a multi-index batch: each query runs against its own
+  /// IndexedQuery::index. Queries with a null/unbuilt index yield empty
+  /// results (and no I/O). All indexes' PageFiles may differ; in
+  /// kSharedStriped mode one striped cache is kept per distinct PageFile.
+  std::vector<QueryResult> RunMulti(const std::vector<IndexedQuery>& batch,
+                                    BatchStats* stats = nullptr);
 
   size_t threads() const { return pool_.threads(); }
   const Options& options() const { return options_; }
@@ -139,17 +207,20 @@ class QueryEngine {
     std::deque<size_t> items;  // indices into the current batch
   };
 
+  using SharedCacheMap =
+      std::unordered_map<const PageFile*, std::unique_ptr<StripedBufferPool>>;
+
   struct Job {
-    const std::vector<Query>* batch = nullptr;
+    const std::vector<IndexedQuery>* batch = nullptr;
     std::vector<QueryResult>* results = nullptr;
-    StripedBufferPool* shared_cache = nullptr;
+    const SharedCacheMap* shared_caches = nullptr;
   };
 
   void ProcessQueue(size_t worker_index, const Job& job);
   bool PopOwn(size_t worker_index, size_t* query_index);
   bool Steal(size_t worker_index, size_t* query_index);
-  void ExecuteQuery(const Job& job, const Query& query, QueryResult* result,
-                    CrawlScratch* scratch);
+  void ExecuteQuery(const Job& job, const IndexedQuery& iq,
+                    QueryResult* result, CrawlScratch* scratch);
 
   const FlatIndex* index_;
   Options options_;

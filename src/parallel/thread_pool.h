@@ -20,11 +20,18 @@ namespace flat {
 /// cursor; the QueryEngine layers its own per-worker deques with stealing on
 /// RunOnAllWorkers.
 ///
-/// Usage rules:
+/// Thread-safety / usage rules:
 ///  - One dispatch at a time: RunOnAllWorkers/ParallelFor must not be called
 ///    concurrently from multiple threads, nor from inside a worker callback
-///    (that would deadlock waiting for the worker it runs on).
+///    (that would deadlock waiting for the worker it runs on). Distinct
+///    ThreadPool objects are fully independent; nesting a dispatch on pool B
+///    inside a callback running on pool A is fine.
+///  - A dispatch forms a synchronization barrier: everything the workers
+///    wrote before returning from `fn` happens-before the dispatching
+///    thread's return from RunOnAllWorkers/ParallelFor.
 ///  - Callbacks must not throw; an exception escaping a worker terminates.
+///  - threads() is safe from any thread; construction and destruction must
+///    not race with a dispatch.
 class ThreadPool {
  public:
   /// Starts `threads` workers (0 = std::thread::hardware_concurrency(),
@@ -64,12 +71,16 @@ class ThreadPool {
   const std::function<void(size_t)>* task_ = nullptr;
 };
 
-/// nullptr-tolerant helpers: a null pool means "run serially on the calling
+/// nullptr-tolerant helper: a null pool means "run serially on the calling
 /// thread as worker 0". Callers size per-worker scratch with WorkerCount.
 inline size_t WorkerCount(const ThreadPool* pool) {
   return pool == nullptr ? 1 : pool->threads();
 }
 
+/// nullptr-tolerant ParallelFor: with a pool, dispatches onto it (same
+/// contract as ThreadPool::ParallelFor); with nullptr, runs fn(0, index)
+/// for every index serially on the calling thread. The serial fallback is
+/// what lets build-pipeline code take `ThreadPool*` unconditionally.
 void ParallelFor(ThreadPool* pool, size_t count, size_t grain,
                  const std::function<void(size_t worker, size_t index)>& fn);
 

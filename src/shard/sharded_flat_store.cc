@@ -1,0 +1,352 @@
+#include "shard/sharded_flat_store.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+
+#include "core/partitioner.h"
+#include "parallel/thread_pool.h"
+#include "storage/persistence.h"
+
+namespace flat {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+Aabb BoundsOf(const std::vector<RTreeEntry>& entries) {
+  Aabb bounds;
+  for (const RTreeEntry& e : entries) bounds.ExpandToInclude(e.box);
+  return bounds;
+}
+
+std::string ShardFileName(size_t shard) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard-%04zu.pgf", shard);
+  return name;
+}
+
+constexpr char kCatalogFileName[] = "catalog.flatshard";
+
+// The bounding box that gates shard routing for a query; every element the
+// query can match has an MBR intersecting this box.
+Aabb QueryGate(const Query& query) {
+  switch (query.type) {
+    case Query::Type::kRange:
+    case Query::Type::kRangeCount:
+    case Query::Type::kSeedScan:
+      return query.box;
+    case Query::Type::kSphere:
+      return Aabb::FromCenterHalfExtents(
+          query.center, Vec3(query.radius, query.radius, query.radius));
+    case Query::Type::kKnn:
+      throw std::invalid_argument(
+          "ShardedFlatStore: kKnn is not supported — the gather has no "
+          "distances to merge per-shard candidates globally");
+  }
+  return Aabb();
+}
+
+// Gathers the sub-results of one scattered query: I/O is summed per
+// category; materializing queries concatenate ids and sort ascending (the
+// store's canonical order). No dedup is needed: the shards partition the
+// elements, so per-shard result sets are disjoint and the sorted merge is
+// exactly the sorted result of an unsharded index.
+void GatherSubResults(std::vector<QueryResult>* sub_results, size_t first,
+                      size_t count, Query::Type type, QueryResult* out) {
+  for (size_t s = 0; s < count; ++s) {
+    const QueryResult& sub = (*sub_results)[first + s];
+    out->io += sub.io;
+    if (type == Query::Type::kRangeCount) {
+      out->count += sub.count;
+    } else {
+      out->ids.insert(out->ids.end(), sub.ids.begin(), sub.ids.end());
+    }
+  }
+  if (type != Query::Type::kRangeCount) {
+    std::sort(out->ids.begin(), out->ids.end());
+    out->count = out->ids.size();
+  }
+}
+
+}  // namespace
+
+ShardedFlatStore ShardedFlatStore::Build(std::vector<RTreeEntry> elements,
+                                         const Options& options,
+                                         BuildStats* out_stats) {
+  ShardedFlatStore store;
+  BuildStats stats;
+  stats.elements = elements.size();
+  store.catalog_.page_size = options.page_size;
+  store.catalog_.total_elements = elements.size();
+
+  if (!elements.empty()) {
+    std::optional<ThreadPool> owned_pool;
+    ThreadPool* pool = nullptr;
+    if (options.num_threads != 1) {
+      owned_pool.emplace(options.num_threads);
+      pool = &*owned_pool;
+    }
+
+    // Top-level STR split: the same tiling machinery as the index build, at
+    // shard granularity. Deterministic for any thread count
+    // (EntryCenterOrder is total), so the shard assignment is unique.
+    const auto t_split = Clock::now();
+    const Aabb universe = BoundsOf(elements);
+    const size_t target_shards = std::max<size_t>(1, options.num_shards);
+    const uint32_t shard_capacity = static_cast<uint32_t>(std::min<uint64_t>(
+        std::numeric_limits<uint32_t>::max(),
+        (elements.size() + target_shards - 1) / target_shards));
+    const std::vector<PartitionInfo> split =
+        StrPartition(&elements, shard_capacity, universe, pool);
+    stats.split_seconds = SecondsSince(t_split);
+    store.catalog_.universe = universe;
+
+    // Scatter the (reordered) elements into per-shard vectors, then build
+    // every shard's FlatIndex in parallel — one serial build per worker at a
+    // time, each into its own pre-allocated PageFile.
+    const auto t_build = Clock::now();
+    const size_t shard_count = split.size();
+    std::vector<std::vector<RTreeEntry>> shard_elements(shard_count);
+    for (size_t i = 0; i < shard_count; ++i) {
+      shard_elements[i].assign(
+          elements.begin() + split[i].first,
+          elements.begin() + split[i].first + split[i].count);
+    }
+    elements.clear();
+    elements.shrink_to_fit();
+
+    store.files_.resize(shard_count);
+    store.indexes_.resize(shard_count);
+    stats.per_shard.resize(shard_count);
+    for (size_t i = 0; i < shard_count; ++i) {
+      store.files_[i] = std::make_unique<PageFile>(options.page_size);
+    }
+    ParallelFor(pool, shard_count, /*grain=*/1, [&](size_t, size_t i) {
+      store.indexes_[i] = FlatIndex::Build(
+          store.files_[i].get(), std::move(shard_elements[i]),
+          &stats.per_shard[i]);
+    });
+    stats.build_seconds = SecondsSince(t_build);
+
+    store.catalog_.shards.resize(shard_count);
+    for (size_t i = 0; i < shard_count; ++i) {
+      ShardCatalogEntry& entry = store.catalog_.shards[i];
+      entry.page_file_name = ShardFileName(i);
+      entry.descriptor = store.indexes_[i].descriptor();
+      entry.bounds = split[i].page_mbr;
+      entry.tile = split[i].tile;
+      entry.element_count = split[i].count;
+    }
+  }
+
+  stats.shards = store.indexes_.size();
+  store.build_stats_ = std::move(stats);
+  if (out_stats != nullptr) *out_stats = store.build_stats_;
+  store.AttachEngine(options.num_threads);
+  return store;
+}
+
+void ShardedFlatStore::AttachEngine(size_t num_threads) {
+  QueryEngine::Options options;
+  options.threads = num_threads;
+  engine_ = std::make_unique<QueryEngine>(options);
+}
+
+std::vector<size_t> ShardedFlatStore::Route(const Aabb& gate) const {
+  std::vector<size_t> shards;
+  for (size_t i = 0; i < catalog_.shards.size(); ++i) {
+    if (catalog_.shards[i].bounds.Intersects(gate)) shards.push_back(i);
+  }
+  return shards;
+}
+
+QueryResult ShardedFlatStore::RunSingle(const Query& query) const {
+  // A default-constructed store has no engine (and no shards): every query
+  // legitimately answers empty, mirroring an unbuilt FlatIndex.
+  if (engine_ == nullptr) return QueryResult{};
+  const std::vector<size_t> shards = Route(QueryGate(query));
+  std::vector<IndexedQuery> scatter;
+  scatter.reserve(shards.size());
+  for (size_t shard : shards) {
+    scatter.push_back(IndexedQuery{&indexes_[shard], query});
+  }
+  std::vector<QueryResult> sub_results = engine_->RunMulti(scatter);
+  QueryResult result;
+  GatherSubResults(&sub_results, 0, sub_results.size(), query.type, &result);
+  return result;
+}
+
+std::vector<uint64_t> ShardedFlatStore::RangeQuery(const Aabb& query,
+                                                   IoStats* io) const {
+  QueryResult result = RunSingle(Query::Range(query));
+  if (io != nullptr) *io += result.io;
+  return std::move(result.ids);
+}
+
+uint64_t ShardedFlatStore::RangeCount(const Aabb& query, IoStats* io) const {
+  QueryResult result = RunSingle(Query::RangeCount(query));
+  if (io != nullptr) *io += result.io;
+  return result.count;
+}
+
+std::vector<uint64_t> ShardedFlatStore::RangeQueryViaSeedScan(
+    const Aabb& query, IoStats* io) const {
+  QueryResult result = RunSingle(Query::RangeSeedScan(query));
+  if (io != nullptr) *io += result.io;
+  return std::move(result.ids);
+}
+
+std::vector<uint64_t> ShardedFlatStore::SphereQuery(const Vec3& center,
+                                                    double radius,
+                                                    IoStats* io) const {
+  QueryResult result = RunSingle(Query::Sphere(center, radius));
+  if (io != nullptr) *io += result.io;
+  return std::move(result.ids);
+}
+
+std::vector<QueryResult> ShardedFlatStore::RunBatch(
+    const std::vector<Query>& batch, BatchStats* stats) const {
+  const auto start = Clock::now();
+
+  // Default-constructed store: no engine, no shards — every query answers
+  // empty (same contract as RunSingle).
+  if (engine_ == nullptr) {
+    if (stats != nullptr) {
+      *stats = BatchStats{};
+      stats->wall_seconds = SecondsSince(start);
+    }
+    return std::vector<QueryResult>(batch.size());
+  }
+
+  // Scatter: one flat multi-index sub-batch covering every (query, shard)
+  // pair, so the engine's work-stealing pool balances across queries and
+  // shards alike.
+  std::vector<IndexedQuery> scatter;
+  struct Span {
+    size_t first = 0;
+    size_t count = 0;
+  };
+  std::vector<Span> spans(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const std::vector<size_t> shards = Route(QueryGate(batch[i]));
+    spans[i].first = scatter.size();
+    spans[i].count = shards.size();
+    for (size_t shard : shards) {
+      scatter.push_back(IndexedQuery{&indexes_[shard], batch[i]});
+    }
+  }
+
+  std::vector<QueryResult> sub_results = engine_->RunMulti(scatter);
+
+  // Gather: per original query, merge its shards' sub-results.
+  std::vector<QueryResult> results(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    GatherSubResults(&sub_results, spans[i].first, spans[i].count,
+                     batch[i].type, &results[i]);
+  }
+
+  if (stats != nullptr) {
+    *stats = BatchStats{};
+    stats->threads = engine_->threads();
+    for (const QueryResult& r : results) {
+      stats->io += r.io;
+      stats->result_elements += r.count;
+    }
+    stats->wall_seconds = SecondsSince(start);
+  }
+  return results;
+}
+
+void ShardedFlatStore::Save(const std::string& dir) const {
+  namespace fs = std::filesystem;
+  const fs::path root(dir);
+  fs::create_directories(root);
+
+  std::ofstream catalog_out(root / kCatalogFileName,
+                            std::ios::binary | std::ios::trunc);
+  if (!catalog_out) {
+    throw std::runtime_error("ShardedFlatStore::Save: cannot open catalog " +
+                             (root / kCatalogFileName).string());
+  }
+  SaveShardCatalog(catalog_, catalog_out);
+
+  for (size_t i = 0; i < files_.size(); ++i) {
+    const fs::path path = root / catalog_.shards[i].page_file_name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("ShardedFlatStore::Save: cannot open " +
+                               path.string());
+    }
+    SavePageFile(*files_[i], out);
+  }
+}
+
+ShardedFlatStore ShardedFlatStore::Load(const std::string& dir,
+                                        size_t num_threads) {
+  namespace fs = std::filesystem;
+  const fs::path root(dir);
+
+  std::ifstream catalog_in(root / kCatalogFileName, std::ios::binary);
+  if (!catalog_in) {
+    throw std::runtime_error("ShardedFlatStore::Load: cannot open catalog " +
+                             (root / kCatalogFileName).string());
+  }
+  ShardedFlatStore store;
+  store.catalog_ = LoadShardCatalog(catalog_in);
+
+  store.files_.reserve(store.catalog_.shards.size());
+  store.indexes_.reserve(store.catalog_.shards.size());
+  for (const ShardCatalogEntry& entry : store.catalog_.shards) {
+    const fs::path path = root / entry.page_file_name;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("ShardedFlatStore::Load: cannot open " +
+                               path.string());
+    }
+    store.files_.push_back(LoadPageFile(in));
+    const PageFile& file = *store.files_.back();
+    if (file.page_size() != store.catalog_.page_size) {
+      throw std::runtime_error(
+          "ShardedFlatStore::Load: shard page size disagrees with catalog: " +
+          path.string());
+    }
+    // The catalog's descriptor must address a page that actually exists in
+    // the shard file — PageFile::Data() does not bounds-check in Release
+    // builds, so a corrupt catalog has to be rejected here, not at query
+    // time.
+    const PageId seed_root = entry.descriptor.seed_root;
+    if (seed_root != kInvalidPageId) {
+      if (seed_root >= file.page_count()) {
+        throw std::runtime_error(
+            "ShardedFlatStore::Load: catalog seed root outside shard file: " +
+            path.string());
+      }
+      const PageCategory expected = entry.descriptor.root_is_leaf
+                                        ? PageCategory::kSeedLeaf
+                                        : PageCategory::kSeedInternal;
+      if (file.category(seed_root) != expected) {
+        throw std::runtime_error(
+            "ShardedFlatStore::Load: catalog seed root has the wrong page "
+            "category: " +
+            path.string());
+      }
+    }
+    store.indexes_.push_back(
+        FlatIndex::Attach(store.files_.back().get(), entry.descriptor));
+  }
+  store.build_stats_.shards = store.indexes_.size();
+  store.build_stats_.elements = store.catalog_.total_elements;
+  store.AttachEngine(num_threads);
+  return store;
+}
+
+}  // namespace flat

@@ -1,0 +1,162 @@
+#ifndef FLAT_SHARD_SHARDED_FLAT_STORE_H_
+#define FLAT_SHARD_SHARDED_FLAT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/flat_index.h"
+#include "engine/query_engine.h"
+#include "shard/shard_catalog.h"
+#include "storage/io_stats.h"
+#include "storage/page_file.h"
+
+namespace flat {
+
+/// A horizontally sharded FLAT store: one data set spatially partitioned into
+/// K independent FlatIndexes ("shards"), each in its own PageFile, behind a
+/// single catalog and a scatter-gather query façade.
+///
+/// Why: a single FLAT index is bounded by one PageFile and one build; the
+/// serving scenario (ROADMAP) needs data sets larger than that, bulk-built in
+/// parallel and queried across volumes. Sharding is the horizontal layer:
+///
+///  - **Split.** A top-level STR pass (the same Sort-Tile-Recursive machinery
+///    as Algorithm 1, via StrPartition with shard-sized capacity) divides the
+///    elements into ~`num_shards` spatially tight, disjoint element sets.
+///    The split uses the strict total EntryCenterOrder, so the shard
+///    assignment — and every shard's PageFile — is byte-identical for any
+///    thread count.
+///  - **Build.** Each shard's FlatIndex is bulk-built independently; shard
+///    builds fan out over a shared ThreadPool (one serial build per worker at
+///    a time), so K shards build in parallel end to end.
+///  - **Catalog.** Shard MBRs, tiles, element counts, descriptors and
+///    PageFile names persist in a versioned ShardCatalog
+///    (docs/file_format.md); Save/Load round-trips the whole store through a
+///    directory.
+///  - **Query.** Range / range-count / seed-scan / sphere queries scatter to
+///    every shard whose element bounds intersect the query, run as one
+///    multi-index batch on the internal QueryEngine (work-stealing across all
+///    per-shard sub-queries, cold cache per sub-query), and gather into a
+///    canonically ordered merge.
+///
+/// Result contract: `RangeQuery` returns ids sorted ascending. Because the
+/// shards partition the elements (each element lives in exactly one shard),
+/// the concatenation of per-shard results contains no cross-shard duplicates,
+/// and its sorted form is bit-identical to the sorted result of one unsharded
+/// FlatIndex over the same data — enforced by tests/sharded_store_test.cc.
+/// Merged IoStats are the exact per-category sum of the per-shard cold-cache
+/// executions, independent of thread count.
+///
+/// Thread-safety: Build/Load and all queries must be driven from one thread
+/// at a time (the engine parallelizes internally); batch queries via
+/// RunBatch instead of concurrent calls. The store owns its PageFiles;
+/// moving the store is safe, copying is disabled.
+class ShardedFlatStore {
+ public:
+  struct Options {
+    /// Target shard count. The STR split tiles space with roughly this many
+    /// partitions; the actual count (`shard_count()`) can differ slightly
+    /// for awkward element/shard ratios. 1 always yields exactly one shard.
+    size_t num_shards = 4;
+    /// Worker threads for the shard builds and the query engine: 1 (default)
+    /// is serial, 0 uses std::thread::hardware_concurrency(). Results and
+    /// I/O totals are identical for every value.
+    size_t num_threads = 1;
+    /// Page size of every shard's PageFile.
+    uint32_t page_size = kDefaultPageSize;
+  };
+
+  /// Build timings and per-shard breakdowns.
+  struct BuildStats {
+    double split_seconds = 0.0;  ///< top-level STR scatter of the elements.
+    double build_seconds = 0.0;  ///< parallel per-shard FlatIndex builds.
+    size_t shards = 0;
+    uint64_t elements = 0;
+    std::vector<FlatIndex::BuildStats> per_shard;
+  };
+
+  /// An empty store with no shards (and no engine): every query answers
+  /// empty, mirroring an unbuilt FlatIndex. Use Build or Load for a real
+  /// store.
+  ShardedFlatStore() = default;
+  ShardedFlatStore(ShardedFlatStore&&) = default;
+  ShardedFlatStore& operator=(ShardedFlatStore&&) = default;
+  ShardedFlatStore(const ShardedFlatStore&) = delete;
+  ShardedFlatStore& operator=(const ShardedFlatStore&) = delete;
+
+  /// Splits `elements` into shards and bulk-builds every shard's FlatIndex.
+  /// `elements` is consumed. An empty input yields a store with zero shards
+  /// whose queries all return empty.
+  static ShardedFlatStore Build(std::vector<RTreeEntry> elements,
+                                const Options& options,
+                                BuildStats* stats = nullptr);
+
+  /// Ids of all elements whose MBR intersects `query`, sorted ascending
+  /// (canonical order; see class comment). `io` (optional) receives the
+  /// per-category sum of all per-shard cold-cache reads.
+  std::vector<uint64_t> RangeQuery(const Aabb& query,
+                                   IoStats* io = nullptr) const;
+
+  /// Number of elements RangeQuery would return, without materializing ids.
+  /// Reads the same pages as RangeQuery (identical IoStats).
+  uint64_t RangeCount(const Aabb& query, IoStats* io = nullptr) const;
+
+  /// RangeQuery answered through each shard's seed tree alone (the seed-scan
+  /// ablation plan) — same sorted id set, different page reads.
+  std::vector<uint64_t> RangeQueryViaSeedScan(const Aabb& query,
+                                              IoStats* io = nullptr) const;
+
+  /// Ids of all elements intersecting the closed ball, sorted ascending.
+  std::vector<uint64_t> SphereQuery(const Vec3& center, double radius,
+                                    IoStats* io = nullptr) const;
+
+  /// Scatter-gather batch execution: every query fans out to its overlapping
+  /// shards, all per-shard sub-queries run as ONE multi-index engine batch
+  /// (so the work-stealing pool balances across queries and shards alike),
+  /// and per-query results are gathered in canonical sorted order.
+  /// Supported types: kRange, kRangeCount, kSeedScan, kSphere. kKnn throws
+  /// std::invalid_argument — a global k-merge needs distance-annotated
+  /// results, which the gather does not have yet.
+  std::vector<QueryResult> RunBatch(const std::vector<Query>& batch,
+                                    BatchStats* stats = nullptr) const;
+
+  /// Persists the store into directory `dir` (created if needed): one
+  /// "shard-NNNN.pgf" PageFile per shard plus "catalog.flatshard". Existing
+  /// files with those names are overwritten.
+  void Save(const std::string& dir) const;
+
+  /// Reopens a store previously written by Save. `num_threads` configures
+  /// the reopened store's query engine (1 = serial, 0 = hardware
+  /// concurrency). Queries behave identically to the saved store's. Throws
+  /// std::runtime_error on missing/corrupt catalog or page files.
+  static ShardedFlatStore Load(const std::string& dir, size_t num_threads = 1);
+
+  size_t shard_count() const { return indexes_.size(); }
+  const ShardCatalog& catalog() const { return catalog_; }
+  const BuildStats& build_stats() const { return build_stats_; }
+
+  /// Direct access to one shard's index and PageFile (bench/test hooks).
+  const FlatIndex& shard_index(size_t shard) const { return indexes_[shard]; }
+  const PageFile& shard_file(size_t shard) const { return *files_[shard]; }
+
+ private:
+  /// Shard indices whose element bounds intersect `gate`, in shard order.
+  std::vector<size_t> Route(const Aabb& gate) const;
+
+  /// Shared scatter-gather core for the single-query entry points.
+  QueryResult RunSingle(const Query& query) const;
+
+  void AttachEngine(size_t num_threads);
+
+  ShardCatalog catalog_;
+  std::vector<std::unique_ptr<PageFile>> files_;   // one per shard
+  std::vector<FlatIndex> indexes_;                 // parallel to files_
+  std::unique_ptr<QueryEngine> engine_;            // multi-index, owns pool
+  BuildStats build_stats_;
+};
+
+}  // namespace flat
+
+#endif  // FLAT_SHARD_SHARDED_FLAT_STORE_H_

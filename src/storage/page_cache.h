@@ -10,6 +10,13 @@ namespace flat {
 /// category) against an IoStats on cache miss, so all execution paths —
 /// serial BufferPool or the concurrent StripedBufferPool sessions used by
 /// the QueryEngine — are accounted identically.
+///
+/// Thread-safety is defined by the implementation, and the contract queries
+/// rely on is per-instance: one PageCache instance serves one thread at a
+/// time. BufferPool is single-threaded outright; StripedBufferPool shares
+/// its page set across threads but hands each thread its own Session (the
+/// PageCache it actually reads through). Concurrent query code must
+/// therefore give every thread its own PageCache instance.
 class PageCache {
  public:
   virtual ~PageCache() = default;

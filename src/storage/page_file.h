@@ -14,10 +14,15 @@ namespace flat {
 ///
 /// Index *construction* writes pages directly (bulkloading is measured by
 /// wall-clock time, as in the paper's Figure 10); *query execution* must go
-/// through a BufferPool, which is where page reads are counted. Keeping the
-/// data in memory while accounting I/O at page granularity reproduces the
-/// paper's cold-cache methodology without a physical SAS array — see
-/// DESIGN.md §3.
+/// through a PageCache (BufferPool / StripedBufferPool), which is where page
+/// reads are counted. Keeping the data in memory while accounting I/O at
+/// page granularity reproduces the paper's cold-cache methodology without a
+/// physical SAS array — see docs/file_format.md §1 and docs/benchmarks.md.
+///
+/// Thread-safety: Allocate/MutableData are construction-time operations and
+/// must be externally synchronized (the parallel build pipeline allocates
+/// serially and lets workers fill disjoint pages). Data()/category() on a
+/// fully built file are safe to call from any number of threads.
 class PageFile {
  public:
   explicit PageFile(uint32_t page_size = kDefaultPageSize);

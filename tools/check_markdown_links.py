@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links.
+
+Scans every tracked *.md file (or the whole tree minus build/hidden dirs
+when git is unavailable) for inline links/images `[text](target)` and
+reference definitions `[label]: target`, and checks that every *relative*
+target resolves to an existing file or directory. Absolute URLs
+(scheme://... or mailto:) and pure in-page anchors (#...) are skipped;
+anchors on relative targets are checked only for file existence, not
+heading existence.
+
+Usage: tools/check_markdown_links.py [repo_root]
+Exit status: 0 when all links resolve, 1 otherwise (one line per breakage).
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+SKIP_DIRS = {".git", "build", "build-debug", "build-tsan", "node_modules"}
+
+# Inline links/images: [text](target "optional title")
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Reference definitions: [label]: target
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+# Fenced code blocks — links inside them are examples, not navigation.
+FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # scheme: (http, mailto…)
+
+
+def markdown_files(root: Path):
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "--cached", "--others", "--exclude-standard",
+             "*.md", "**/*.md"],
+            cwd=root, capture_output=True, text=True, check=True,
+        ).stdout
+        files = [root / line for line in out.splitlines() if line]
+        if files:
+            return files
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        pass
+    return [
+        p for p in root.rglob("*.md")
+        if not any(part in SKIP_DIRS for part in p.parts)
+    ]
+
+
+def targets_in(text: str):
+    text = FENCE.sub("", text)
+    for match in INLINE_LINK.finditer(text):
+        yield match.group(1)
+    for match in REF_DEF.finditer(text):
+        yield match.group(1)
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path.cwd()
+    root = root.resolve()
+    files = sorted(markdown_files(root))
+    broken = []
+    checked = 0
+    for md in files:
+        text = md.read_text(encoding="utf-8", errors="replace")
+        for target in targets_in(text):
+            if EXTERNAL.match(target) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            if path_part.startswith("/"):
+                resolved = root / path_part.lstrip("/")
+            else:
+                resolved = md.parent / path_part
+            checked += 1
+            if not resolved.exists():
+                broken.append(
+                    f"{md.relative_to(root)}: broken link -> {target}")
+    for line in broken:
+        print(line)
+    print(f"checked {checked} intra-repo links in "
+          f"{len(files)} markdown files: {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
