@@ -4,13 +4,18 @@
 // STR tiling, and end-to-end index probes.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <memory>
+
 #include "core/flat_index.h"
 #include "data/neuron_generator.h"
 #include "data/query_generator.h"
+#include "geometry/box_kernels.h"
 #include "geometry/hilbert.h"
 #include "geometry/morton.h"
 #include "geometry/rng.h"
 #include "rtree/bulkload.h"
+#include "rtree/node.h"
 #include "rtree/pack.h"
 #include "storage/buffer_pool.h"
 
@@ -33,6 +38,192 @@ void BM_AabbIntersects(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AabbIntersects);
+
+// --- Node-gate primitives -------------------------------------------------
+// A synthetic object page at full 4 KiB fanout (73 RTreeEntry slots), gated
+// against a query that intersects some of the boxes: the per-page inner
+// loop of the crawl. Scalar is the pre-SIMD reference sweep; the other
+// variants are what the crawl runs now (SoA transpose + vector gate) and
+// its AoS dispatch used on seed-tree node descents.
+
+struct NodePageFixture {
+  std::vector<char> page;
+  uint16_t count = 0;
+  Aabb query;
+  SoaBoxes soa;
+  std::vector<uint8_t> hits;
+
+  NodePageFixture() {
+    Rng rng(42);
+    const Aabb universe(Vec3(0, 0, 0), Vec3(100, 100, 100));
+    const uint32_t fanout = NodeCapacity(kDefaultPageSize);
+    page.assign(kDefaultPageSize, 0);
+    NodeWriter writer(page.data(), kDefaultPageSize);
+    writer.Init(/*level=*/0);
+    for (uint32_t i = 0; i < fanout; ++i) {
+      writer.Append(RTreeEntry{
+          Aabb::FromCenterHalfExtents(rng.PointIn(universe), Vec3(2, 3, 1)),
+          i});
+    }
+    count = writer.count();
+    query = Aabb(Vec3(20, 20, 20), Vec3(60, 60, 60));
+    soa.Assign(page.data() + kNodeHeaderSize, sizeof(RTreeEntry), count);
+    hits.resize(soa.padded_count());
+  }
+};
+
+NodePageFixture& NodePage() {
+  static NodePageFixture fixture;
+  return fixture;
+}
+
+void BM_NodeGateScalar(benchmark::State& state) {
+  auto& f = NodePage();
+  for (auto _ : state) {
+    IntersectsBatchScalar(f.page.data() + kNodeHeaderSize, sizeof(RTreeEntry),
+                          f.count, f.query, f.hits.data());
+    benchmark::DoNotOptimize(f.hits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.count);
+}
+BENCHMARK(BM_NodeGateScalar);
+
+void BM_NodeGateSimdAos(benchmark::State& state) {
+  auto& f = NodePage();
+  for (auto _ : state) {
+    IntersectsBatch(f.page.data() + kNodeHeaderSize, sizeof(RTreeEntry),
+                    f.count, f.query, f.hits.data());
+    benchmark::DoNotOptimize(f.hits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.count);
+}
+BENCHMARK(BM_NodeGateSimdAos);
+
+void BM_NodeGateSoa(benchmark::State& state) {
+  // Transpose + gate: the full per-page cost of the crawl's SoA path.
+  auto& f = NodePage();
+  for (auto _ : state) {
+    f.soa.Assign(f.page.data() + kNodeHeaderSize, sizeof(RTreeEntry),
+                 f.count);
+    IntersectsSoa(f.soa, f.query, f.hits.data());
+    benchmark::DoNotOptimize(f.hits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.count);
+}
+BENCHMARK(BM_NodeGateSoa);
+
+void BM_NodeGateSoaGateOnly(benchmark::State& state) {
+  // SoA already resident: the steady-state vector gate alone.
+  auto& f = NodePage();
+  for (auto _ : state) {
+    IntersectsSoa(f.soa, f.query, f.hits.data());
+    benchmark::DoNotOptimize(f.hits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.count);
+}
+BENCHMARK(BM_NodeGateSoaGateOnly);
+
+void BM_SphereGateScalarLoop(benchmark::State& state) {
+  // Pre-SIMD sphere path: per-element IntersectsSphere over the page.
+  auto& f = NodePage();
+  const Vec3 center(50, 50, 50);
+  const double radius = 20.0;
+  for (auto _ : state) {
+    NodeView elements(f.page.data());
+    for (uint16_t i = 0; i < f.count; ++i) {
+      f.hits[i] = elements.BoxAt(i).IntersectsSphere(center, radius);
+    }
+    benchmark::DoNotOptimize(f.hits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.count);
+}
+BENCHMARK(BM_SphereGateScalarLoop);
+
+void BM_SphereGateSoa(benchmark::State& state) {
+  auto& f = NodePage();
+  const Vec3 center(50, 50, 50);
+  const double radius = 20.0;
+  for (auto _ : state) {
+    f.soa.Assign(f.page.data() + kNodeHeaderSize, sizeof(RTreeEntry),
+                 f.count);
+    SphereGateSoa(f.soa, center, radius, f.hits.data());
+    benchmark::DoNotOptimize(f.hits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.count);
+}
+BENCHMARK(BM_SphereGateSoa);
+
+// --- Page lookup primitives -----------------------------------------------
+// Arena PageFile address arithmetic vs. the former one-allocation-per-page
+// layout (reconstructed locally). Both variants run the same random page
+// order and read a varied in-page offset — what a crawl's header + entry
+// sweep does; reading only byte 0 of page-aligned storage would alias every
+// access onto one L1 set and benchmark the cache geometry, not the lookup.
+
+constexpr size_t kLookupPages = 4096;
+
+std::vector<PageId> LookupOrder() {
+  Rng rng(7);
+  std::vector<PageId> order(kLookupPages);
+  for (size_t i = 0; i < kLookupPages; ++i) {
+    order[i] = static_cast<PageId>(rng.UniformInt(0, kLookupPages - 1));
+  }
+  return order;
+}
+
+inline size_t LookupOffset(PageId id) { return (id % 61) * 64; }
+
+void BM_PageLookupArena(benchmark::State& state) {
+  static PageFile* file = [] {
+    auto* f = new PageFile(kDefaultPageSize);
+    for (size_t i = 0; i < kLookupPages; ++i) {
+      f->Allocate(PageCategory::kObject);
+      f->MutableData(static_cast<PageId>(i))[LookupOffset(
+          static_cast<PageId>(i))] = static_cast<char>(i);
+    }
+    return f;
+  }();
+  const std::vector<PageId> order = LookupOrder();
+  size_t i = 0;
+  int64_t sum = 0;
+  for (auto _ : state) {
+    const PageId id = order[i++ & (kLookupPages - 1)];
+    sum += file->Data(id)[LookupOffset(id)];
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_PageLookupArena);
+
+void BM_PageLookupPtrChase(benchmark::State& state) {
+  // The pre-arena layout: every page its own heap allocation behind a
+  // pointer array, so each Data(id) chases one extra pointer into a
+  // scattered allocation. The spacer allocations reproduce how pages were
+  // actually laid out: the old Allocate ran interleaved with the build's
+  // vector allocations (neighbor lists, drafts), so consecutive pages did
+  // not sit back to back — a fresh-heap back-to-back layout would flatter
+  // this variant with locality it never had in practice.
+  static std::vector<std::unique_ptr<char[]>>* pages = [] {
+    auto* p = new std::vector<std::unique_ptr<char[]>>();
+    Rng srng(11);
+    std::vector<std::unique_ptr<char[]>> spacers;
+    for (size_t i = 0; i < kLookupPages; ++i) {
+      p->push_back(std::make_unique<char[]>(kDefaultPageSize));
+      (*p)[i][LookupOffset(static_cast<PageId>(i))] = static_cast<char>(i);
+      spacers.push_back(
+          std::make_unique<char[]>(srng.UniformInt(64, 2048)));
+    }
+    return p;  // spacers freed here; the page scatter they forced remains
+  }();
+  const std::vector<PageId> order = LookupOrder();
+  size_t i = 0;
+  int64_t sum = 0;
+  for (auto _ : state) {
+    const PageId id = order[i++ & (kLookupPages - 1)];
+    sum += (*pages)[id][LookupOffset(id)];
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_PageLookupPtrChase);
 
 void BM_HilbertEncode(benchmark::State& state) {
   uint32_t v = 0;

@@ -25,10 +25,15 @@ SerialReference RunSerialReference(const FlatIndex& index,
   SerialReference ref;
   ref.results.resize(batch.size());
   CrawlScratch scratch;  // reused across the loop, same as an engine worker
+  IoStats unused;
+  BufferPool pool(index.file(), &unused, pool_pages);
   const auto start = Clock::now();
   for (size_t i = 0; i < batch.size(); ++i) {
     QueryResult& r = ref.results[i];
-    BufferPool pool(index.file(), &r.io, pool_pages);
+    // Clear() + set_stats() = a fresh cold pool per query (the paper's
+    // methodology) at O(1) cost, same as an engine worker.
+    pool.Clear();
+    pool.set_stats(&r.io);
     DispatchQuery(index, batch[i], &pool, &r, &scratch);
     ref.io += r.io;
   }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/metadata.h"
+#include "geometry/box_kernels.h"
 
 namespace flat {
 
@@ -74,11 +75,16 @@ class CrawlScratch {
   }
 
   /// At least `count` bytes for a batched intersection hit mask
-  /// (see IntersectsBatch).
+  /// (see IntersectsBatch / IntersectsSoa).
   uint8_t* Hits(size_t count) {
     if (hits_.size() < count) hits_.resize(count);
     return hits_.data();
   }
+
+  /// Reusable structure-of-arrays transpose buffer: the crawl re-lays a
+  /// visited node page's entry MBRs into SoA lanes once, then gates the
+  /// whole fanout with the vector kernels (see geometry/box_kernels.h).
+  SoaBoxes& Soa() { return soa_; }
 
  private:
   struct Slot {
@@ -129,6 +135,7 @@ class CrawlScratch {
   size_t tail_ = 0;
   size_t queued_ = 0;
   std::vector<uint8_t> hits_;
+  SoaBoxes soa_;
 };
 
 }  // namespace flat

@@ -6,6 +6,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "geometry/box_kernels.h"
 #include "parallel/thread_pool.h"
 #include "rtree/node.h"
 #include "rtree/pack.h"
@@ -227,13 +228,15 @@ bool FlatIndex::ProbeRecord(PageCache* pool, const MetadataRecordView& record,
 template <typename Accept>
 std::optional<RecordRef> FlatIndex::SeedWhere(PageCache* pool,
                                               const Aabb& gate,
-                                              const Accept& accept) const {
+                                              const Accept& accept,
+                                              CrawlScratch* scratch) const {
   if (empty() || gate.IsEmpty()) return std::nullopt;
 
   struct Frame {
     PageId page;
     bool is_leaf;
   };
+  std::vector<uint8_t> local_hits;  // fallback when the caller has no scratch
   std::vector<Frame> stack = {{seed_root_, root_is_leaf_}};
   while (!stack.empty()) {
     const Frame frame = stack.back();
@@ -249,13 +252,27 @@ std::optional<RecordRef> FlatIndex::SeedWhere(PageCache* pool,
       }
       continue;
     }
-    NodeView node(pool->Read(frame.page));
+    // Gate the whole fanout in one batched sweep (same push order as the
+    // former per-entry loop, so the descent — and thus the returned seed —
+    // is unchanged).
+    const char* data = pool->Read(frame.page);
+    NodeView node(data);
     const bool children_are_leaves = node.level() == 1;
-    for (int i = node.count() - 1; i >= 0; --i) {
-      const RTreeEntry e = node.EntryAt(static_cast<uint16_t>(i));
-      if (e.box.Intersects(gate)) {
-        stack.push_back(
-            Frame{static_cast<PageId>(e.id), children_are_leaves});
+    const uint16_t n = node.count();
+    uint8_t* hits;
+    if (scratch != nullptr) {
+      hits = scratch->Hits(n);
+    } else {
+      if (local_hits.size() < n) local_hits.resize(n);
+      hits = local_hits.data();
+    }
+    IntersectsBatch(data + kNodeHeaderSize, sizeof(RTreeEntry), n, gate,
+                    hits);
+    for (int i = n - 1; i >= 0; --i) {
+      if (hits[i]) {
+        stack.push_back(Frame{
+            static_cast<PageId>(node.IdAt(static_cast<uint16_t>(i))),
+            children_are_leaves});
       }
     }
   }
@@ -303,6 +320,29 @@ void FlatIndex::CrawlPages(PageCache* pool, const Aabb& gate_box,
   }
 }
 
+namespace {
+
+/// Object-page scan for the crawl: transposes the page's entry MBRs into
+/// the scratch SoA lanes, runs `gate(soa, hits)` (one of the vector
+/// kernels), then `sink(elements, i)` for every hit — the one place the
+/// Assign / Hits / gate / collect pattern lives.
+template <typename GateFn, typename SinkFn>
+auto SoaScan(GateFn gate, SinkFn sink) {
+  return [gate, sink](const char* page, CrawlScratch* s) {
+    NodeView elements(page);
+    const uint16_t n = elements.count();
+    SoaBoxes& soa = s->Soa();
+    soa.Assign(page + kNodeHeaderSize, sizeof(RTreeEntry), n);
+    uint8_t* hits = s->Hits(soa.padded_count());
+    gate(soa, hits);
+    for (uint16_t i = 0; i < n; ++i) {
+      if (hits[i]) sink(elements, i);
+    }
+  };
+}
+
+}  // namespace
+
 std::optional<RecordRef> FlatIndex::Seed(PageCache* pool,
                                          const Aabb& query) const {
   return SeedWhere(pool, query,
@@ -312,19 +352,17 @@ std::optional<RecordRef> FlatIndex::Seed(PageCache* pool,
 void FlatIndex::Crawl(PageCache* pool, const Aabb& query, RecordRef start,
                       std::vector<uint64_t>* out, CrawlGuard guard,
                       CrawlScratch* scratch) const {
-  // Object pages pack their RTreeEntry slots contiguously, so the element
-  // gate runs as one batched sweep over the page.
+  // Object pages pack their RTreeEntry slots contiguously: transpose the
+  // page's MBRs into the scratch SoA lanes once, then gate the whole fanout
+  // with the vector kernel (see geometry/box_kernels.h).
   CrawlPages(pool, query, start, guard, scratch,
-             [&query, out](const char* page, CrawlScratch* s) {
-               NodeView elements(page);
-               const uint16_t n = elements.count();
-               uint8_t* hits = s->Hits(n);
-               IntersectsBatch(page + kNodeHeaderSize, sizeof(RTreeEntry), n,
-                               query, hits);
-               for (uint16_t i = 0; i < n; ++i) {
-                 if (hits[i]) out->push_back(elements.IdAt(i));
-               }
-             });
+             SoaScan(
+                 [&query](const SoaBoxes& soa, uint8_t* hits) {
+                   IntersectsSoa(soa, query, hits);
+                 },
+                 [out](const NodeView& elements, uint16_t i) {
+                   out->push_back(elements.IdAt(i));
+                 }));
 }
 
 void FlatIndex::RangeQuery(PageCache* pool, const Aabb& query,
@@ -335,32 +373,33 @@ void FlatIndex::RangeQuery(PageCache* pool, const Aabb& query,
 void FlatIndex::RangeQuery(PageCache* pool, const Aabb& query,
                            std::vector<uint64_t>* out, CrawlScratch* scratch,
                            CrawlGuard guard) const {
-  std::optional<RecordRef> start = Seed(pool, query);
+  std::optional<RecordRef> start = SeedWhere(
+      pool, query, [&query](const Aabb& box) { return box.Intersects(query); },
+      scratch);
   if (!start.has_value()) return;
   Crawl(pool, query, *start, out, guard, scratch);
 }
 
 size_t FlatIndex::RangeCount(PageCache* pool, const Aabb& query,
                              CrawlScratch* scratch) const {
-  std::optional<RecordRef> start = Seed(pool, query);
+  std::optional<RecordRef> start = SeedWhere(
+      pool, query, [&query](const Aabb& box) { return box.Intersects(query); },
+      scratch);
   if (!start.has_value()) return 0;
   size_t count = 0;
   CrawlPages(pool, query, *start, CrawlGuard::kPartitionMbr, scratch,
-             [&query, &count](const char* page, CrawlScratch* s) {
-               NodeView elements(page);
-               const uint16_t n = elements.count();
-               uint8_t* hits = s->Hits(n);
-               IntersectsBatch(page + kNodeHeaderSize, sizeof(RTreeEntry), n,
-                               query, hits);
-               for (uint16_t i = 0; i < n; ++i) count += hits[i];
-             });
+             SoaScan(
+                 [&query](const SoaBoxes& soa, uint8_t* hits) {
+                   IntersectsSoa(soa, query, hits);
+                 },
+                 [&count](const NodeView&, uint16_t) { ++count; }));
   return count;
 }
 
 namespace {
 
-/// Page scan testing every element against a custom predicate (sphere / kNN
-/// paths, where the batched box gate does not apply).
+/// Page scan testing every element against a custom predicate (the kNN
+/// path, whose accept lambda is stateful and records distances).
 template <typename Accept>
 auto PredicateScan(const Accept& accept, std::vector<uint64_t>* out) {
   return [&accept, out](const char* page, CrawlScratch*) {
@@ -393,7 +432,7 @@ std::vector<uint64_t> FlatIndex::KnnQuery(PageCache* pool, const Vec3& center,
     const Aabb probe = Aabb::FromPoint(center);
     std::optional<RecordRef> seed = SeedWhere(
         pool, probe,
-        [&center](const Aabb& box) { return box.Contains(center); });
+        [&center](const Aabb& box) { return box.Contains(center); }, scratch);
     if (seed.has_value()) {
       SeedLeafView leaf(pool->Read(seed->page));
       const Aabb page_mbr = leaf.RecordAt(seed->slot).page_mbr();
@@ -420,7 +459,7 @@ std::vector<uint64_t> FlatIndex::KnnQuery(PageCache* pool, const Vec3& center,
       distances.push_back(d2);
       return true;
     };
-    std::optional<RecordRef> start = SeedWhere(pool, gate, accept);
+    std::optional<RecordRef> start = SeedWhere(pool, gate, accept, scratch);
     distances.clear();  // seed probes also ran the predicate
     if (start.has_value()) {
       CrawlPages(pool, gate, *start, CrawlGuard::kPartitionMbr, scratch,
@@ -460,10 +499,20 @@ void FlatIndex::SphereQuery(PageCache* pool, const Vec3& center,
   const auto accept = [&center, radius](const Aabb& box) {
     return box.IntersectsSphere(center, radius);
   };
-  std::optional<RecordRef> start = SeedWhere(pool, gate, accept);
+  std::optional<RecordRef> start = SeedWhere(pool, gate, accept, scratch);
   if (!start.has_value()) return;
+  // The crawl's element gate runs as a batched SoA sphere-distance sweep;
+  // SphereGateSoa reproduces IntersectsSphere exactly (same IEEE operation
+  // order — see geometry/box_kernels.h), so results match the per-element
+  // predicate bit for bit.
   CrawlPages(pool, gate, *start, CrawlGuard::kPartitionMbr, scratch,
-             PredicateScan(accept, out));
+             SoaScan(
+                 [&center, radius](const SoaBoxes& soa, uint8_t* hits) {
+                   SphereGateSoa(soa, center, radius, hits);
+                 },
+                 [out](const NodeView& elements, uint16_t i) {
+                   out->push_back(elements.IdAt(i));
+                 }));
 }
 
 void FlatIndex::RangeQueryViaSeedScan(PageCache* pool, const Aabb& query,
@@ -505,12 +554,17 @@ void FlatIndex::RangeQueryViaSeedScan(PageCache* pool, const Aabb& query,
       }
       continue;
     }
-    NodeView node(pool->Read(frame.page));
+    const char* data = pool->Read(frame.page);
+    NodeView node(data);
     const bool children_are_leaves = node.level() == 1;
-    for (uint16_t i = 0; i < node.count(); ++i) {
-      const RTreeEntry e = node.EntryAt(i);
-      if (e.box.Intersects(query)) {
-        stack.push_back(Frame{static_cast<PageId>(e.id), children_are_leaves});
+    const uint16_t n = node.count();
+    if (hits.size() < n) hits.resize(n);
+    IntersectsBatch(data + kNodeHeaderSize, sizeof(RTreeEntry), n, query,
+                    hits.data());
+    for (uint16_t i = 0; i < n; ++i) {
+      if (hits[i]) {
+        stack.push_back(
+            Frame{static_cast<PageId>(node.IdAt(i)), children_are_leaves});
       }
     }
   }
@@ -525,6 +579,7 @@ std::vector<RecordRef> FlatIndex::FindAllCandidateRecords(
     PageId page;
     bool is_leaf;
   };
+  std::vector<uint8_t> hits;
   std::vector<Frame> stack = {{seed_root_, root_is_leaf_}};
   while (!stack.empty()) {
     const Frame frame = stack.back();
@@ -538,12 +593,17 @@ std::vector<RecordRef> FlatIndex::FindAllCandidateRecords(
       }
       continue;
     }
-    NodeView node(file_->Data(frame.page));
+    const char* data = file_->Data(frame.page);
+    NodeView node(data);
     const bool children_are_leaves = node.level() == 1;
-    for (uint16_t i = 0; i < node.count(); ++i) {
-      const RTreeEntry e = node.EntryAt(i);
-      if (e.box.Intersects(query)) {
-        stack.push_back(Frame{static_cast<PageId>(e.id), children_are_leaves});
+    const uint16_t n = node.count();
+    if (hits.size() < n) hits.resize(n);
+    IntersectsBatch(data + kNodeHeaderSize, sizeof(RTreeEntry), n, query,
+                    hits.data());
+    for (uint16_t i = 0; i < n; ++i) {
+      if (hits[i]) {
+        stack.push_back(
+            Frame{static_cast<PageId>(node.IdAt(i)), children_are_leaves});
       }
     }
   }

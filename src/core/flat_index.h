@@ -235,10 +235,13 @@ class FlatIndex {
                    const Accept& accept) const;
 
   // Generalized seed phase: finds a record whose object page holds an
-  // accepted element, pruning by `gate` (the query's bounding box).
+  // accepted element, pruning by `gate` (the query's bounding box). Uses
+  // `scratch`'s hit buffer for the batched node gates when given (keeping
+  // the seed phase allocation-free); nullptr falls back to a local buffer.
   template <typename Accept>
   std::optional<RecordRef> SeedWhere(PageCache* pool, const Aabb& gate,
-                                     const Accept& accept) const;
+                                     const Accept& accept,
+                                     CrawlScratch* scratch = nullptr) const;
 
   // Generalized crawl (Algorithm 2): BFS over neighbor pointers, calling
   // scan(page_data, scratch) for every object page whose page MBR passes the

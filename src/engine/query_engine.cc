@@ -12,10 +12,11 @@ QueryEngine::QueryEngine(const FlatIndex* index, Options options)
     : index_(index), options_(options), pool_(options.threads) {
   options_.threads = pool_.threads();
   queues_.reserve(pool_.threads());
+  workers_.reserve(pool_.threads());
   for (size_t i = 0; i < pool_.threads(); ++i) {
     queues_.push_back(std::make_unique<WorkerQueue>());
+    workers_.push_back(std::make_unique<WorkerState>());
   }
-  scratches_ = std::vector<CrawlScratch>(pool_.threads());
 }
 
 QueryEngine::~QueryEngine() = default;
@@ -96,7 +97,7 @@ void QueryEngine::ProcessQueue(size_t worker_index, const Job& job) {
   while (PopOwn(worker_index, &query_index) ||
          Steal(worker_index, &query_index)) {
     ExecuteQuery(job, (*job.batch)[query_index],
-                 &(*job.results)[query_index], &scratches_[worker_index]);
+                 &(*job.results)[query_index], workers_[worker_index].get());
   }
 }
 
@@ -150,7 +151,7 @@ void DispatchQuery(const FlatIndex& index, const Query& query,
 }
 
 void QueryEngine::ExecuteQuery(const Job& job, const IndexedQuery& iq,
-                               QueryResult* result, CrawlScratch* scratch) {
+                               QueryResult* result, WorkerState* state) {
   // A null or never-built index has no PageFile to read from; the query
   // legitimately returns empty.
   if (iq.index == nullptr || iq.index->file() == nullptr) return;
@@ -158,11 +159,22 @@ void QueryEngine::ExecuteQuery(const Job& job, const IndexedQuery& iq,
     auto it = job.shared_caches->find(iq.index->file());
     assert(it != job.shared_caches->end());
     StripedBufferPool::Session session(it->second.get(), &result->io);
-    DispatchQuery(*iq.index, iq.query, &session, result, scratch);
+    DispatchQuery(*iq.index, iq.query, &session, result, &state->scratch);
     return;
   }
-  BufferPool pool(iq.index->file(), &result->io, options_.pool_pages);
-  DispatchQuery(*iq.index, iq.query, &pool, result, scratch);
+  // Cold-per-query mode: recycle the worker's pool — Clear() is an O(1)
+  // epoch bump, so this is exactly as cold as a fresh pool (identical
+  // IoStats) without rebuilding the page table per query.
+  BufferPool* pool = state->pool.get();
+  if (pool == nullptr || &pool->file() != iq.index->file()) {
+    state->pool = std::make_unique<BufferPool>(iq.index->file(), &result->io,
+                                               options_.pool_pages);
+    pool = state->pool.get();
+  } else {
+    pool->Clear();
+    pool->set_stats(&result->io);
+  }
+  DispatchQuery(*iq.index, iq.query, pool, result, &state->scratch);
 }
 
 }  // namespace flat

@@ -12,6 +12,7 @@
 #include "core/flat_index.h"
 #include "geometry/aabb.h"
 #include "parallel/thread_pool.h"
+#include "storage/buffer_pool.h"
 #include "storage/io_stats.h"
 #include "storage/striped_buffer_pool.h"
 
@@ -216,18 +217,30 @@ class QueryEngine {
     const SharedCacheMap* shared_caches = nullptr;
   };
 
+  /// Per-worker reusable state: the crawl scratch plus, in kColdPerQuery
+  /// mode, one BufferPool recycled across the worker's queries — Clear()
+  /// (an O(1) epoch bump) plus set_stats() gives every query the same cold
+  /// cache and per-query accounting a fresh pool would, without
+  /// re-allocating the pool's page table each time. The pool is rebuilt
+  /// only when a multi-index batch switches the worker to a different
+  /// PageFile.
+  struct WorkerState {
+    CrawlScratch scratch;
+    std::unique_ptr<BufferPool> pool;
+  };
+
   void ProcessQueue(size_t worker_index, const Job& job);
   bool PopOwn(size_t worker_index, size_t* query_index);
   bool Steal(size_t worker_index, size_t* query_index);
   void ExecuteQuery(const Job& job, const IndexedQuery& iq,
-                    QueryResult* result, CrawlScratch* scratch);
+                    QueryResult* result, WorkerState* state);
 
   const FlatIndex* index_;
   Options options_;
 
   ThreadPool pool_;
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
-  std::vector<CrawlScratch> scratches_;  // one per worker
+  std::vector<std::unique_ptr<WorkerState>> workers_;  // one per worker
 };
 
 }  // namespace flat

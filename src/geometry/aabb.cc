@@ -1,26 +1,10 @@
 #include "geometry/aabb.h"
 
-#include <cstring>
-
 namespace flat {
 static_assert(sizeof(Aabb) == 6 * sizeof(double),
               "Aabb must stay a plain 6-double layout; the storage layer "
-              "serializes it by memcpy and IntersectsBatch reads it as six "
+              "serializes it by memcpy and the box kernels read it as six "
               "doubles");
-
-void IntersectsBatch(const char* boxes, size_t stride, size_t count,
-                     const Aabb& query, uint8_t* hits) {
-  const double qlx = query.lo().x, qly = query.lo().y, qlz = query.lo().z;
-  const double qhx = query.hi().x, qhy = query.hi().y, qhz = query.hi().z;
-  for (size_t i = 0; i < count; ++i) {
-    double b[6];  // lo.x lo.y lo.z hi.x hi.y hi.z
-    std::memcpy(b, boxes + i * stride, sizeof(b));
-    // Same predicate as Aabb::Intersects, as one branch-free expression: the
-    // empty-box checks (lo <= hi per axis) fold into the comparison chain.
-    const int hit = (b[0] <= b[3]) & (b[1] <= b[4]) & (b[2] <= b[5]) &
-                    (b[0] <= qhx) & (b[3] >= qlx) & (b[1] <= qhy) &
-                    (b[4] >= qly) & (b[2] <= qhz) & (b[5] >= qlz);
-    hits[i] = static_cast<uint8_t>(hit);
-  }
-}
+// IntersectsBatch lives in geometry/box_kernels.cc, the one translation
+// unit compiled with the SIMD flags.
 }  // namespace flat

@@ -1,0 +1,343 @@
+// SIMD + scalar implementations of the MBR gate kernels. This translation
+// unit is compiled with -mavx2 -ffp-contract=off when the FLAT_SIMD_AVX2
+// CMake option is on (the default); without it, the x86-64 SSE2 baseline or
+// the plain scalar path is selected. All SIMD code lives here so the rest of
+// the library builds with the project-wide flags and stays bit-identical
+// regardless of the kernel ISA. -ffp-contract=off matters: the sphere gate
+// must round exactly like Aabb::DistanceSquaredTo (mul then add, no FMA).
+#include "geometry/box_kernels.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#elif defined(__SSE2__) || defined(_M_X64)
+#include <emmintrin.h>
+#endif
+
+namespace flat {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// One strided AoS box gate, shared by the scalar kernels: the same predicate
+// as Aabb::Intersects in one branch-free expression (the empty-box checks
+// lo <= hi fold into the comparison chain).
+inline uint8_t GateOneBox(const double* b, const Aabb& q) {
+  const int hit = (b[0] <= b[3]) & (b[1] <= b[4]) & (b[2] <= b[5]) &
+                  (b[0] <= q.hi().x) & (b[3] >= q.lo().x) &
+                  (b[1] <= q.hi().y) & (b[4] >= q.lo().y) &
+                  (b[2] <= q.hi().z) & (b[5] >= q.lo().z);
+  return static_cast<uint8_t>(hit);
+}
+
+}  // namespace
+
+const char* BoxKernelIsa() {
+#if defined(__AVX2__)
+  return "avx2";
+#elif defined(__SSE2__) || defined(_M_X64)
+  return "sse2";
+#else
+  return "scalar";
+#endif
+}
+
+void IntersectsBatchScalar(const char* boxes, size_t stride, size_t count,
+                           const Aabb& query, uint8_t* hits) {
+  for (size_t i = 0; i < count; ++i) {
+    double b[6];  // lo.x lo.y lo.z hi.x hi.y hi.z
+    std::memcpy(b, boxes + i * stride, sizeof(b));
+    hits[i] = GateOneBox(b, query);
+  }
+}
+
+void IntersectsBatch(const char* boxes, size_t stride, size_t count,
+                     const Aabb& query, uint8_t* hits) {
+#if defined(__AVX2__)
+  // One box per iteration, vector ops across its six doubles. Lane maps:
+  //   L  = [lo.x lo.y lo.z hi.x]   (load at byte 0)
+  //   H  = [lo.z hi.x hi.y hi.z]   (load at byte 16; stays inside the box)
+  //   Hs = [hi.x hi.y hi.z lo.z]   (H rotated down one lane)
+  // so lanes 0..2 of L/Hs line up as lo/hi per axis; lane 3 is junk and the
+  // movemask is masked to the low three bits. _CMP_*_OQ compares are false
+  // on NaN, exactly like the scalar <= / >=.
+  const __m256d qh = _mm256_set_pd(kInf, query.hi().z, query.hi().y,
+                                   query.hi().x);
+  const __m256d ql = _mm256_set_pd(-kInf, query.lo().z, query.lo().y,
+                                   query.lo().x);
+  for (size_t i = 0; i < count; ++i) {
+    const double* b = reinterpret_cast<const double*>(boxes + i * stride);
+    const __m256d lo = _mm256_loadu_pd(b);
+    const __m256d h = _mm256_loadu_pd(b + 2);
+    const __m256d hs = _mm256_permute4x64_pd(h, _MM_SHUFFLE(0, 3, 2, 1));
+    const __m256d c1 = _mm256_cmp_pd(lo, qh, _CMP_LE_OQ);
+    const __m256d c2 = _mm256_cmp_pd(hs, ql, _CMP_GE_OQ);
+    const __m256d c3 = _mm256_cmp_pd(lo, hs, _CMP_LE_OQ);  // empty check
+    const int m = _mm256_movemask_pd(_mm256_and_pd(_mm256_and_pd(c1, c2), c3));
+    hits[i] = static_cast<uint8_t>((m & 7) == 7);
+  }
+#elif defined(__SSE2__) || defined(_M_X64)
+  // x and y axes in one 2-lane vector, z axis scalar.
+  const __m128d qh_xy = _mm_set_pd(query.hi().y, query.hi().x);
+  const __m128d ql_xy = _mm_set_pd(query.lo().y, query.lo().x);
+  const double qhz = query.hi().z, qlz = query.lo().z;
+  for (size_t i = 0; i < count; ++i) {
+    const double* b = reinterpret_cast<const double*>(boxes + i * stride);
+    const __m128d lo_xy = _mm_loadu_pd(b);          // [lo.x lo.y]
+    const __m128d mid = _mm_loadu_pd(b + 2);        // [lo.z hi.x]
+    const __m128d hi_yz = _mm_loadu_pd(b + 4);      // [hi.y hi.z]
+    const __m128d hi_xy = _mm_shuffle_pd(mid, hi_yz, 0b01);  // [hi.x hi.y]
+    const __m128d c1 = _mm_cmple_pd(lo_xy, qh_xy);
+    const __m128d c2 = _mm_cmpge_pd(hi_xy, ql_xy);
+    const __m128d c3 = _mm_cmple_pd(lo_xy, hi_xy);  // empty check, x/y
+    const int mxy =
+        _mm_movemask_pd(_mm_and_pd(_mm_and_pd(c1, c2), c3));
+    const double loz = b[2], hiz = b[5];
+    const int hz = (loz <= hiz) & (loz <= qhz) & (hiz >= qlz);
+    hits[i] = static_cast<uint8_t>((mxy == 3) & hz);
+  }
+#else
+  IntersectsBatchScalar(boxes, stride, count, query, hits);
+#endif
+}
+
+void SoaBoxes::Assign(const char* boxes, size_t stride, size_t count) {
+  count_ = count;
+  padded_ = (count + 3) & ~size_t{3};
+  lanes_.resize(6 * padded_);
+  double* lox = lanes_.data();
+  double* loy = lox + padded_;
+  double* loz = loy + padded_;
+  double* hix = loz + padded_;
+  double* hiy = hix + padded_;
+  double* hiz = hiy + padded_;
+  size_t i = 0;
+#if defined(__AVX2__)
+  // Transpose four boxes at a time: two overlapping 4-lane loads per box
+  // (both stay inside the 48-byte box image) and two 4x4 double transposes.
+  for (; i + 4 <= count; i += 4) {
+    const double* b0 = reinterpret_cast<const double*>(boxes + i * stride);
+    const double* b1 = reinterpret_cast<const double*>(
+        boxes + (i + 1) * stride);
+    const double* b2 = reinterpret_cast<const double*>(
+        boxes + (i + 2) * stride);
+    const double* b3 = reinterpret_cast<const double*>(
+        boxes + (i + 3) * stride);
+    const __m256d r0 = _mm256_loadu_pd(b0), r1 = _mm256_loadu_pd(b1);
+    const __m256d r2 = _mm256_loadu_pd(b2), r3 = _mm256_loadu_pd(b3);
+    __m256d t0 = _mm256_unpacklo_pd(r0, r1);
+    __m256d t1 = _mm256_unpackhi_pd(r0, r1);
+    __m256d t2 = _mm256_unpacklo_pd(r2, r3);
+    __m256d t3 = _mm256_unpackhi_pd(r2, r3);
+    _mm256_storeu_pd(lox + i, _mm256_permute2f128_pd(t0, t2, 0x20));
+    _mm256_storeu_pd(loy + i, _mm256_permute2f128_pd(t1, t3, 0x20));
+    _mm256_storeu_pd(loz + i, _mm256_permute2f128_pd(t0, t2, 0x31));
+    _mm256_storeu_pd(hix + i, _mm256_permute2f128_pd(t1, t3, 0x31));
+    const __m256d s0 = _mm256_loadu_pd(b0 + 2), s1 = _mm256_loadu_pd(b1 + 2);
+    const __m256d s2 = _mm256_loadu_pd(b2 + 2), s3 = _mm256_loadu_pd(b3 + 2);
+    t0 = _mm256_unpacklo_pd(s0, s1);   // columns lo.z / hi.y
+    t1 = _mm256_unpackhi_pd(s0, s1);   // columns hi.x / hi.z
+    t2 = _mm256_unpacklo_pd(s2, s3);
+    t3 = _mm256_unpackhi_pd(s2, s3);
+    _mm256_storeu_pd(hiy + i, _mm256_permute2f128_pd(t0, t2, 0x31));
+    _mm256_storeu_pd(hiz + i, _mm256_permute2f128_pd(t1, t3, 0x31));
+  }
+#endif
+  for (; i < count; ++i) {
+    double b[6];
+    std::memcpy(b, boxes + i * stride, sizeof(b));
+    lox[i] = b[0];
+    loy[i] = b[1];
+    loz[i] = b[2];
+    hix[i] = b[3];
+    hiy[i] = b[4];
+    hiz[i] = b[5];
+  }
+  for (i = count; i < padded_; ++i) {
+    // Canonical empty boxes: every kernel's empty check zeroes these lanes.
+    lox[i] = loy[i] = loz[i] = kInf;
+    hix[i] = hiy[i] = hiz[i] = -kInf;
+  }
+}
+
+void IntersectsSoaScalar(const SoaBoxes& soa, const Aabb& query,
+                         uint8_t* hits) {
+  const double* lox = soa.lo(0);
+  const double* loy = soa.lo(1);
+  const double* loz = soa.lo(2);
+  const double* hix = soa.hi(0);
+  const double* hiy = soa.hi(1);
+  const double* hiz = soa.hi(2);
+  for (size_t i = 0; i < soa.padded_count(); ++i) {
+    const int hit =
+        (lox[i] <= hix[i]) & (loy[i] <= hiy[i]) & (loz[i] <= hiz[i]) &
+        (lox[i] <= query.hi().x) & (hix[i] >= query.lo().x) &
+        (loy[i] <= query.hi().y) & (hiy[i] >= query.lo().y) &
+        (loz[i] <= query.hi().z) & (hiz[i] >= query.lo().z);
+    hits[i] = static_cast<uint8_t>(hit);
+  }
+}
+
+void IntersectsSoa(const SoaBoxes& soa, const Aabb& query, uint8_t* hits) {
+#if defined(__AVX2__)
+  const __m256d qhx = _mm256_set1_pd(query.hi().x);
+  const __m256d qhy = _mm256_set1_pd(query.hi().y);
+  const __m256d qhz = _mm256_set1_pd(query.hi().z);
+  const __m256d qlx = _mm256_set1_pd(query.lo().x);
+  const __m256d qly = _mm256_set1_pd(query.lo().y);
+  const __m256d qlz = _mm256_set1_pd(query.lo().z);
+  for (size_t i = 0; i < soa.padded_count(); i += 4) {
+    const __m256d lox = _mm256_loadu_pd(soa.lo(0) + i);
+    const __m256d loy = _mm256_loadu_pd(soa.lo(1) + i);
+    const __m256d loz = _mm256_loadu_pd(soa.lo(2) + i);
+    const __m256d hix = _mm256_loadu_pd(soa.hi(0) + i);
+    const __m256d hiy = _mm256_loadu_pd(soa.hi(1) + i);
+    const __m256d hiz = _mm256_loadu_pd(soa.hi(2) + i);
+    __m256d m = _mm256_and_pd(_mm256_cmp_pd(lox, hix, _CMP_LE_OQ),
+                              _mm256_cmp_pd(loy, hiy, _CMP_LE_OQ));
+    m = _mm256_and_pd(m, _mm256_cmp_pd(loz, hiz, _CMP_LE_OQ));
+    m = _mm256_and_pd(m, _mm256_cmp_pd(lox, qhx, _CMP_LE_OQ));
+    m = _mm256_and_pd(m, _mm256_cmp_pd(hix, qlx, _CMP_GE_OQ));
+    m = _mm256_and_pd(m, _mm256_cmp_pd(loy, qhy, _CMP_LE_OQ));
+    m = _mm256_and_pd(m, _mm256_cmp_pd(hiy, qly, _CMP_GE_OQ));
+    m = _mm256_and_pd(m, _mm256_cmp_pd(loz, qhz, _CMP_LE_OQ));
+    m = _mm256_and_pd(m, _mm256_cmp_pd(hiz, qlz, _CMP_GE_OQ));
+    const int mask = _mm256_movemask_pd(m);
+    hits[i + 0] = static_cast<uint8_t>(mask & 1);
+    hits[i + 1] = static_cast<uint8_t>((mask >> 1) & 1);
+    hits[i + 2] = static_cast<uint8_t>((mask >> 2) & 1);
+    hits[i + 3] = static_cast<uint8_t>((mask >> 3) & 1);
+  }
+#elif defined(__SSE2__) || defined(_M_X64)
+  const __m128d qhx = _mm_set1_pd(query.hi().x);
+  const __m128d qhy = _mm_set1_pd(query.hi().y);
+  const __m128d qhz = _mm_set1_pd(query.hi().z);
+  const __m128d qlx = _mm_set1_pd(query.lo().x);
+  const __m128d qly = _mm_set1_pd(query.lo().y);
+  const __m128d qlz = _mm_set1_pd(query.lo().z);
+  for (size_t i = 0; i < soa.padded_count(); i += 2) {
+    const __m128d lox = _mm_loadu_pd(soa.lo(0) + i);
+    const __m128d loy = _mm_loadu_pd(soa.lo(1) + i);
+    const __m128d loz = _mm_loadu_pd(soa.lo(2) + i);
+    const __m128d hix = _mm_loadu_pd(soa.hi(0) + i);
+    const __m128d hiy = _mm_loadu_pd(soa.hi(1) + i);
+    const __m128d hiz = _mm_loadu_pd(soa.hi(2) + i);
+    __m128d m = _mm_and_pd(_mm_cmple_pd(lox, hix), _mm_cmple_pd(loy, hiy));
+    m = _mm_and_pd(m, _mm_cmple_pd(loz, hiz));
+    m = _mm_and_pd(m, _mm_cmple_pd(lox, qhx));
+    m = _mm_and_pd(m, _mm_cmpge_pd(hix, qlx));
+    m = _mm_and_pd(m, _mm_cmple_pd(loy, qhy));
+    m = _mm_and_pd(m, _mm_cmpge_pd(hiy, qly));
+    m = _mm_and_pd(m, _mm_cmple_pd(loz, qhz));
+    m = _mm_and_pd(m, _mm_cmpge_pd(hiz, qlz));
+    const int mask = _mm_movemask_pd(m);
+    hits[i + 0] = static_cast<uint8_t>(mask & 1);
+    hits[i + 1] = static_cast<uint8_t>((mask >> 1) & 1);
+  }
+#else
+  IntersectsSoaScalar(soa, query, hits);
+#endif
+}
+
+void SphereGateSoaScalar(const SoaBoxes& soa, const Vec3& center,
+                         double radius, uint8_t* hits) {
+  const double* lox = soa.lo(0);
+  const double* loy = soa.lo(1);
+  const double* loz = soa.lo(2);
+  const double* hix = soa.hi(0);
+  const double* hiy = soa.hi(1);
+  const double* hiz = soa.hi(2);
+  const double r2 = radius * radius;
+  for (size_t i = 0; i < soa.padded_count(); ++i) {
+    const int nonempty =
+        (lox[i] <= hix[i]) & (loy[i] <= hiy[i]) & (loz[i] <= hiz[i]);
+    if (!nonempty) {
+      hits[i] = 0;
+      continue;
+    }
+    // Exactly Aabb::DistanceSquaredTo: per-axis gap = max(max(lo - p,
+    // p - hi), 0), accumulated x then y then z. No FMA (see file comment).
+    const double gx =
+        std::max(std::max(lox[i] - center.x, center.x - hix[i]), 0.0);
+    const double gy =
+        std::max(std::max(loy[i] - center.y, center.y - hiy[i]), 0.0);
+    const double gz =
+        std::max(std::max(loz[i] - center.z, center.z - hiz[i]), 0.0);
+    const double d2 = gx * gx + gy * gy + gz * gz;
+    hits[i] = static_cast<uint8_t>(d2 <= r2);
+  }
+}
+
+void SphereGateSoa(const SoaBoxes& soa, const Vec3& center, double radius,
+                   uint8_t* hits) {
+#if defined(__AVX2__)
+  const __m256d px = _mm256_set1_pd(center.x);
+  const __m256d py = _mm256_set1_pd(center.y);
+  const __m256d pz = _mm256_set1_pd(center.z);
+  const __m256d r2 = _mm256_set1_pd(radius * radius);
+  const __m256d zero = _mm256_setzero_pd();
+  for (size_t i = 0; i < soa.padded_count(); i += 4) {
+    const __m256d lox = _mm256_loadu_pd(soa.lo(0) + i);
+    const __m256d loy = _mm256_loadu_pd(soa.lo(1) + i);
+    const __m256d loz = _mm256_loadu_pd(soa.lo(2) + i);
+    const __m256d hix = _mm256_loadu_pd(soa.hi(0) + i);
+    const __m256d hiy = _mm256_loadu_pd(soa.hi(1) + i);
+    const __m256d hiz = _mm256_loadu_pd(soa.hi(2) + i);
+    const __m256d gx = _mm256_max_pd(
+        _mm256_max_pd(_mm256_sub_pd(lox, px), _mm256_sub_pd(px, hix)), zero);
+    const __m256d gy = _mm256_max_pd(
+        _mm256_max_pd(_mm256_sub_pd(loy, py), _mm256_sub_pd(py, hiy)), zero);
+    const __m256d gz = _mm256_max_pd(
+        _mm256_max_pd(_mm256_sub_pd(loz, pz), _mm256_sub_pd(pz, hiz)), zero);
+    const __m256d d2 = _mm256_add_pd(
+        _mm256_add_pd(_mm256_mul_pd(gx, gx), _mm256_mul_pd(gy, gy)),
+        _mm256_mul_pd(gz, gz));
+    __m256d m = _mm256_and_pd(_mm256_cmp_pd(lox, hix, _CMP_LE_OQ),
+                              _mm256_cmp_pd(loy, hiy, _CMP_LE_OQ));
+    m = _mm256_and_pd(m, _mm256_cmp_pd(loz, hiz, _CMP_LE_OQ));
+    m = _mm256_and_pd(m, _mm256_cmp_pd(d2, r2, _CMP_LE_OQ));
+    const int mask = _mm256_movemask_pd(m);
+    hits[i + 0] = static_cast<uint8_t>(mask & 1);
+    hits[i + 1] = static_cast<uint8_t>((mask >> 1) & 1);
+    hits[i + 2] = static_cast<uint8_t>((mask >> 2) & 1);
+    hits[i + 3] = static_cast<uint8_t>((mask >> 3) & 1);
+  }
+#elif defined(__SSE2__) || defined(_M_X64)
+  const __m128d px = _mm_set1_pd(center.x);
+  const __m128d py = _mm_set1_pd(center.y);
+  const __m128d pz = _mm_set1_pd(center.z);
+  const __m128d r2 = _mm_set1_pd(radius * radius);
+  const __m128d zero = _mm_setzero_pd();
+  for (size_t i = 0; i < soa.padded_count(); i += 2) {
+    const __m128d lox = _mm_loadu_pd(soa.lo(0) + i);
+    const __m128d loy = _mm_loadu_pd(soa.lo(1) + i);
+    const __m128d loz = _mm_loadu_pd(soa.lo(2) + i);
+    const __m128d hix = _mm_loadu_pd(soa.hi(0) + i);
+    const __m128d hiy = _mm_loadu_pd(soa.hi(1) + i);
+    const __m128d hiz = _mm_loadu_pd(soa.hi(2) + i);
+    const __m128d gx = _mm_max_pd(
+        _mm_max_pd(_mm_sub_pd(lox, px), _mm_sub_pd(px, hix)), zero);
+    const __m128d gy = _mm_max_pd(
+        _mm_max_pd(_mm_sub_pd(loy, py), _mm_sub_pd(py, hiy)), zero);
+    const __m128d gz = _mm_max_pd(
+        _mm_max_pd(_mm_sub_pd(loz, pz), _mm_sub_pd(pz, hiz)), zero);
+    const __m128d d2 =
+        _mm_add_pd(_mm_add_pd(_mm_mul_pd(gx, gx), _mm_mul_pd(gy, gy)),
+                   _mm_mul_pd(gz, gz));
+    __m128d m = _mm_and_pd(_mm_cmple_pd(lox, hix), _mm_cmple_pd(loy, hiy));
+    m = _mm_and_pd(m, _mm_cmple_pd(loz, hiz));
+    m = _mm_and_pd(m, _mm_cmple_pd(d2, r2));
+    const int mask = _mm_movemask_pd(m);
+    hits[i + 0] = static_cast<uint8_t>(mask & 1);
+    hits[i + 1] = static_cast<uint8_t>((mask >> 1) & 1);
+  }
+#else
+  SphereGateSoaScalar(soa, center, radius, hits);
+#endif
+}
+
+}  // namespace flat

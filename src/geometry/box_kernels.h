@@ -1,0 +1,86 @@
+#ifndef FLAT_GEOMETRY_BOX_KERNELS_H_
+#define FLAT_GEOMETRY_BOX_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/aabb.h"
+#include "geometry/vec3.h"
+
+namespace flat {
+
+/// Vectorized MBR gate kernels for the crawl and seed hot paths.
+///
+/// Every kernel here exists in two forms: a branch-free scalar reference
+/// (`...Scalar`, always compiled) and a dispatching entry point that runs
+/// the widest instruction set selected at *compile time* — AVX2 when the
+/// kernel translation unit is built with `-mavx2` (the default via the
+/// FLAT_SIMD_AVX2 CMake option), SSE2 on any other x86-64 build, and the
+/// scalar reference elsewhere. The SIMD paths are bit-for-bit equivalent to
+/// the scalar reference — same comparison predicates, same IEEE operation
+/// order in the sphere distance, no FMA contraction (the TU is built with
+/// -ffp-contract=off) — which tests/box_kernels_test.cc enforces over
+/// adversarial box populations. Queries therefore return identical results
+/// whichever path is compiled in.
+///
+/// Which instruction set the dispatching kernels were compiled for:
+/// "avx2", "sse2", or "scalar". Benchmarks record it in their JSON output.
+const char* BoxKernelIsa();
+
+/// Scalar reference for IntersectsBatch (see aabb.h): tests `count` boxes
+/// laid out `stride` bytes apart against `query`, writing 0/1 into `hits`.
+/// Matches Aabb::Intersects exactly for a non-empty `query`, including the
+/// "empty boxes intersect nothing" rule.
+void IntersectsBatchScalar(const char* boxes, size_t stride, size_t count,
+                           const Aabb& query, uint8_t* hits);
+
+/// Structure-of-arrays view of a node page's entry MBRs: six contiguous
+/// double lanes (lo.x of every entry, then lo.y, ... then hi.z), padded to a
+/// multiple of four entries with canonical empty boxes so the vector kernels
+/// need no scalar tail. `Assign` transposes the strided AoS page layout
+/// (e.g. the RTreeEntry slots of an object page) into the lanes; the buffer
+/// is reusable across pages and grows to the largest fanout seen.
+class SoaBoxes {
+ public:
+  /// Transposes `count` boxes laid out `stride` bytes apart (Aabb object
+  /// layout: lo.x lo.y lo.z hi.x hi.y hi.z as doubles) into the six lanes.
+  void Assign(const char* boxes, size_t stride, size_t count);
+
+  size_t count() const { return count_; }
+  /// count() rounded up to a multiple of the vector width; the kernels
+  /// write this many hit bytes (padding lanes always report 0).
+  size_t padded_count() const { return padded_; }
+
+  /// Lane base pointers: axis 0..2, lo or hi.
+  const double* lo(int axis) const { return lanes_.data() + axis * padded_; }
+  const double* hi(int axis) const {
+    return lanes_.data() + (3 + axis) * padded_;
+  }
+
+ private:
+  size_t count_ = 0;
+  size_t padded_ = 0;
+  std::vector<double> lanes_;  // 6 segments of padded_ doubles
+};
+
+/// Gates every box of `soa` against `query`: hits[i] = 1 iff box i is
+/// non-empty and intersects (Aabb::Intersects semantics). Writes
+/// soa.padded_count() bytes.
+void IntersectsSoa(const SoaBoxes& soa, const Aabb& query, uint8_t* hits);
+void IntersectsSoaScalar(const SoaBoxes& soa, const Aabb& query,
+                         uint8_t* hits);
+
+/// Gates every box of `soa` against the closed ball around `center`:
+/// hits[i] = 1 iff box i is non-empty and its min distance to `center` is
+/// <= radius — exactly Aabb::IntersectsSphere (same operation order:
+/// gap = max(max(lo-p, p-hi), 0) per axis, d2 = ((gx*gx + gy*gy) + gz*gz),
+/// d2 <= radius*radius). Writes soa.padded_count() bytes.
+void SphereGateSoa(const SoaBoxes& soa, const Vec3& center, double radius,
+                   uint8_t* hits);
+void SphereGateSoaScalar(const SoaBoxes& soa, const Vec3& center,
+                         double radius, uint8_t* hits);
+
+}  // namespace flat
+
+#endif  // FLAT_GEOMETRY_BOX_KERNELS_H_

@@ -6,22 +6,27 @@ namespace flat {
 
 BufferPool::BufferPool(const PageFile* file, IoStats* stats,
                        size_t capacity_pages)
-    : file_(file), stats_(stats), lru_(capacity_pages) {
+    : file_(file), stats_(stats), table_(capacity_pages) {
   assert(file_ != nullptr);
   assert(stats_ != nullptr);
 }
 
 const char* BufferPool::Read(PageId id) {
-  if (lru_.Touch(id)) {
+  if (table_.Touch(id)) {
     ++hits_;
   } else {
     ++misses_;
     stats_->RecordRead(file_->category(id));
-    lru_.Insert(id);
+    table_.Insert(id);
   }
   return file_->Data(id);
 }
 
-void BufferPool::Clear() { lru_.Clear(); }
+void BufferPool::Clear() { table_.Clear(); }
+
+void BufferPool::set_stats(IoStats* stats) {
+  assert(stats != nullptr);
+  stats_ = stats;
+}
 
 }  // namespace flat

@@ -3,8 +3,8 @@
 
 #include <cstdint>
 
+#include "storage/epoch_page_table.h"
 #include "storage/io_stats.h"
-#include "storage/lru_page_set.h"
 #include "storage/page_cache.h"
 #include "storage/page_file.h"
 
@@ -16,8 +16,11 @@ namespace flat {
 /// category) against the attached IoStats; hits are free, mirroring the OS
 /// buffer cache of the paper's testbed. `Clear()` empties the cache —
 /// the paper clears OS caches and disk buffers before every query, and the
-/// benchmark harness does the same through this method. For concurrent
-/// readers use StripedBufferPool (one Session per thread).
+/// benchmark harness does the same through this method. Clearing is O(1)
+/// (an epoch bump in the page table), so reusing one pool with a Clear()
+/// per query is exactly as cold as — and much cheaper than — constructing a
+/// fresh pool per query. For concurrent readers use StripedBufferPool (one
+/// Session per thread).
 class BufferPool final : public PageCache {
  public:
   /// `capacity_pages` bounds the number of cached pages (0 means unbounded).
@@ -34,12 +37,18 @@ class BufferPool final : public PageCache {
   /// Drops every cached page (cold cache).
   void Clear();
 
+  /// Redirects future miss charges to `stats` (never null). Lets a reused
+  /// pool account each query against its own IoStats — the QueryEngine pairs
+  /// this with Clear() to keep the paper's cold-per-query methodology while
+  /// amortizing the pool across a worker's whole batch share.
+  void set_stats(IoStats* stats);
+
   /// True if the page is currently cached (test hook; does not touch LRU
   /// order or counters).
-  bool IsCached(PageId id) const { return lru_.Contains(id); }
+  bool IsCached(PageId id) const { return table_.Contains(id); }
 
-  size_t cached_pages() const { return lru_.size(); }
-  size_t capacity_pages() const { return lru_.capacity(); }
+  size_t cached_pages() const { return table_.size(); }
+  size_t capacity_pages() const { return table_.capacity(); }
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
@@ -50,7 +59,7 @@ class BufferPool final : public PageCache {
  private:
   const PageFile* file_;
   IoStats* stats_;
-  LruPageSet lru_;
+  EpochPageTable table_;
 
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

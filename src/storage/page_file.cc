@@ -1,7 +1,8 @@
 #include "storage/page_file.h"
 
 #include <cassert>
-#include <cstring>
+#include <cstdlib>
+#include <new>
 
 namespace flat {
 
@@ -25,32 +26,27 @@ const char* PageCategoryName(PageCategory category) {
 
 PageFile::PageFile(uint32_t page_size) : page_size_(page_size) {
   assert(page_size_ >= 64);
+  // Largest power-of-two page count whose slab stays within the target
+  // bytes; at least one page per slab (huge pages sizes get one-page slabs).
+  uint32_t shift = 0;
+  while ((uint64_t{2} << shift) * page_size_ <= kArenaTargetBytes) ++shift;
+  slab_shift_ = shift;
+  slab_mask_ = (uint32_t{1} << shift) - 1;
 }
 
 PageId PageFile::Allocate(PageCategory category) {
-  auto page = std::make_unique<char[]>(page_size_);
-  std::memset(page.get(), 0, page_size_);
-  pages_.push_back(std::move(page));
-  categories_.push_back(category);
-  return static_cast<PageId>(pages_.size() - 1);
-}
-
-char* PageFile::MutableData(PageId id) {
-  assert(id < pages_.size());
-  return pages_[id].get();
-}
-
-const char* PageFile::Data(PageId id) const {
-  assert(id < pages_.size());
-  return pages_[id].get();
-}
-
-size_t PageFile::PageCountIn(PageCategory category) const {
-  size_t n = 0;
-  for (PageCategory c : categories_) {
-    if (c == category) ++n;
+  const size_t id = categories_.size();
+  if ((id >> slab_shift_) == slabs_.size()) {
+    // calloc: pages must read back zeroed, and the OS lazily materializes
+    // the zero pages, so a slab costs physical memory only as it is touched.
+    char* slab = static_cast<char*>(
+        std::calloc(size_t{1} << slab_shift_, page_size_));
+    if (slab == nullptr) throw std::bad_alloc();
+    slabs_.emplace_back(slab);
   }
-  return n;
+  categories_.push_back(category);
+  ++pages_in_category_[static_cast<size_t>(category)];
+  return static_cast<PageId>(id);
 }
 
 }  // namespace flat

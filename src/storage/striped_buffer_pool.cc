@@ -35,7 +35,7 @@ const char* StripedBufferPool::Read(PageId id, IoStats* stats) {
   Stripe& stripe = StripeFor(id);
   {
     std::lock_guard<std::mutex> lock(stripe.mu);
-    if (stripe.lru.Touch(id)) {
+    if (stripe.table.Touch(id)) {
       ++stripe.hits;
       // Page data lives in the immutable PageFile, so the pointer can be
       // returned outside the stripe lock.
@@ -44,7 +44,7 @@ const char* StripedBufferPool::Read(PageId id, IoStats* stats) {
       const PageCategory category = file_->category(id);
       stripe.stats.RecordRead(category);
       if (stats != nullptr) stats->RecordRead(category);
-      stripe.lru.Insert(id);
+      stripe.table.Insert(id);
     }
   }
   return file_->Data(id);
@@ -53,21 +53,21 @@ const char* StripedBufferPool::Read(PageId id, IoStats* stats) {
 void StripedBufferPool::Clear() {
   for (auto& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe->mu);
-    stripe->lru.Clear();
+    stripe->table.Clear();
   }
 }
 
 bool StripedBufferPool::IsCached(PageId id) const {
   Stripe& stripe = StripeFor(id);
   std::lock_guard<std::mutex> lock(stripe.mu);
-  return stripe.lru.Contains(id);
+  return stripe.table.Contains(id);
 }
 
 size_t StripedBufferPool::cached_pages() const {
   size_t total = 0;
   for (const auto& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe->mu);
-    total += stripe->lru.size();
+    total += stripe->table.size();
   }
   return total;
 }

@@ -6,8 +6,8 @@
 #include <mutex>
 #include <vector>
 
+#include "storage/epoch_page_table.h"
 #include "storage/io_stats.h"
-#include "storage/lru_page_set.h"
 #include "storage/page_cache.h"
 #include "storage/page_file.h"
 
@@ -78,15 +78,22 @@ class StripedBufferPool {
   };
 
  private:
-  struct Stripe {
-    explicit Stripe(size_t capacity) : lru(capacity) {}
+  // Cache-line aligned so concurrent sessions hammering different stripes
+  // never false-share a stripe's mutex or counters; 64 covers the
+  // destructive-interference size of every x86-64 and AArch64 part we
+  // target (std::hardware_destructive_interference_size needs a libstdc++
+  // that defines it, and over-aligned operator new handles the allocation).
+  struct alignas(64) Stripe {
+    explicit Stripe(size_t capacity) : table(capacity) {}
 
     mutable std::mutex mu;
-    LruPageSet lru;
+    EpochPageTable table;
     uint64_t hits = 0;
     uint64_t misses = 0;
     IoStats stats;
   };
+  static_assert(alignof(Stripe) >= 64,
+                "stripes must not share a cache line");
 
   Stripe& StripeFor(PageId id) const {
     // Fibonacci hashing spreads sequential page ids across stripes.

@@ -1,0 +1,271 @@
+// Equivalence tests for the SIMD box/sphere gate kernels: whatever
+// instruction set geometry/box_kernels.cc was compiled with, the dispatching
+// kernels must agree bit-for-bit with the scalar references, and the scalar
+// references must agree with the Aabb member predicates. The box populations
+// are adversarial on purpose — coordinates drawn from a small lattice so
+// touching faces/edges/corners, zero-extent boxes, exact containment, and
+// shared coordinates are common rather than measure-zero.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "geometry/aabb.h"
+#include "geometry/box_kernels.h"
+#include "geometry/rng.h"
+#include "rtree/entry.h"
+
+namespace flat {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// Lattice coordinates: ties, touches and containment happen constantly.
+constexpr double kLattice[] = {-2.0, -1.0, -0.5, 0.0, 0.5, 1.0, 2.0};
+
+double LatticeCoord(Rng& rng) {
+  return kLattice[rng.UniformInt(0, 6)];
+}
+
+// A mixed population of lattice boxes: proper, zero-extent, inverted
+// (finite lo > hi), canonical empty, and — when `with_nan` — NaN-poisoned.
+// Both kernels and Aabb::Intersects agree that anything failing lo <= hi on
+// some axis (including via NaN) intersects nothing.
+std::vector<Aabb> AdversarialBoxes(Rng& rng, size_t count, bool with_nan) {
+  std::vector<Aabb> boxes;
+  boxes.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const int kind = static_cast<int>(rng.UniformInt(0, 9));
+    if (kind == 0) {
+      boxes.push_back(Aabb());  // canonical empty
+      continue;
+    }
+    Vec3 a(LatticeCoord(rng), LatticeCoord(rng), LatticeCoord(rng));
+    Vec3 b(LatticeCoord(rng), LatticeCoord(rng), LatticeCoord(rng));
+    if (kind <= 2) {
+      boxes.push_back(Aabb::FromPoint(a));  // zero extent
+    } else if (kind == 3) {
+      boxes.push_back(Aabb(a, b));  // possibly inverted on some axes
+    } else if (kind == 4 && with_nan) {
+      const Vec3 lo = Vec3::Min(a, b), hi = Vec3::Max(a, b);
+      double c[3] = {lo.x, lo.y, lo.z};
+      c[rng.UniformInt(0, 2)] = kNaN;
+      boxes.push_back(Aabb(Vec3(c[0], c[1], c[2]), hi));
+    } else {
+      boxes.push_back(Aabb::FromCorners(a, b));  // proper (maybe degenerate)
+    }
+  }
+  return boxes;
+}
+
+std::vector<Aabb> AdversarialQueries(Rng& rng, size_t count) {
+  std::vector<Aabb> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Vec3 a(LatticeCoord(rng), LatticeCoord(rng), LatticeCoord(rng));
+    Vec3 b(LatticeCoord(rng), LatticeCoord(rng), LatticeCoord(rng));
+    queries.push_back(i % 7 == 0 ? Aabb::FromPoint(a)
+                                 : Aabb::FromCorners(a, b));
+  }
+  return queries;
+}
+
+// Serializes boxes with the given stride (48 = bare Aabb, 56 = RTreeEntry
+// slot layout of an object page).
+std::vector<char> Serialize(const std::vector<Aabb>& boxes, size_t stride) {
+  std::vector<char> buf(boxes.size() * stride, '\xab');
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    std::memcpy(buf.data() + i * stride, &boxes[i], sizeof(Aabb));
+  }
+  return buf;
+}
+
+TEST(BoxKernelsTest, IsaNameIsKnown) {
+  const std::string isa = BoxKernelIsa();
+  EXPECT_TRUE(isa == "avx2" || isa == "sse2" || isa == "scalar") << isa;
+}
+
+TEST(BoxKernelsTest, ScalarMatchesAabbIntersects) {
+  Rng rng(7);
+  for (int round = 0; round < 50; ++round) {
+    const auto boxes = AdversarialBoxes(rng, 97, /*with_nan=*/false);
+    const auto queries = AdversarialQueries(rng, 8);
+    const auto buf = Serialize(boxes, sizeof(Aabb));
+    std::vector<uint8_t> hits(boxes.size());
+    for (const Aabb& q : queries) {
+      IntersectsBatchScalar(buf.data(), sizeof(Aabb), boxes.size(), q,
+                            hits.data());
+      for (size_t i = 0; i < boxes.size(); ++i) {
+        ASSERT_EQ(hits[i] != 0, boxes[i].Intersects(q))
+            << "box " << boxes[i] << " query " << q;
+      }
+    }
+  }
+}
+
+TEST(BoxKernelsTest, DispatchMatchesScalarBitForBit) {
+  Rng rng(11);
+  for (size_t stride : {sizeof(Aabb), sizeof(RTreeEntry)}) {
+    for (int round = 0; round < 50; ++round) {
+      // Odd counts exercise every tail length.
+      const size_t count = 1 + static_cast<size_t>(rng.UniformInt(0, 90));
+      const auto boxes = AdversarialBoxes(rng, count, /*with_nan=*/true);
+      const auto queries = AdversarialQueries(rng, 6);
+      const auto buf = Serialize(boxes, stride);
+      std::vector<uint8_t> expected(count), actual(count);
+      for (const Aabb& q : queries) {
+        IntersectsBatchScalar(buf.data(), stride, count, q, expected.data());
+        IntersectsBatch(buf.data(), stride, count, q, actual.data());
+        ASSERT_EQ(std::memcmp(expected.data(), actual.data(), count), 0)
+            << "stride " << stride << " count " << count;
+      }
+    }
+  }
+}
+
+TEST(BoxKernelsTest, SoaAssignTransposesAndPads) {
+  Rng rng(13);
+  const auto boxes = AdversarialBoxes(rng, 73, /*with_nan=*/false);
+  const auto buf = Serialize(boxes, sizeof(RTreeEntry));
+  SoaBoxes soa;
+  soa.Assign(buf.data(), sizeof(RTreeEntry), boxes.size());
+  ASSERT_EQ(soa.count(), boxes.size());
+  ASSERT_EQ(soa.padded_count() % 4, 0u);
+  ASSERT_GE(soa.padded_count(), soa.count());
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    for (int axis = 0; axis < 3; ++axis) {
+      EXPECT_EQ(soa.lo(axis)[i], boxes[i].lo()[axis]);
+      EXPECT_EQ(soa.hi(axis)[i], boxes[i].hi()[axis]);
+    }
+  }
+  for (size_t i = boxes.size(); i < soa.padded_count(); ++i) {
+    for (int axis = 0; axis < 3; ++axis) {
+      EXPECT_EQ(soa.lo(axis)[i], kInf) << "padding must be the empty box";
+      EXPECT_EQ(soa.hi(axis)[i], -kInf);
+    }
+  }
+}
+
+TEST(BoxKernelsTest, SoaMatchesScalarAndAos) {
+  Rng rng(17);
+  SoaBoxes soa;  // reused, like the crawl scratch
+  for (int round = 0; round < 60; ++round) {
+    const size_t count = 1 + static_cast<size_t>(rng.UniformInt(0, 90));
+    const auto boxes = AdversarialBoxes(rng, count, /*with_nan=*/true);
+    const auto queries = AdversarialQueries(rng, 6);
+    const auto buf = Serialize(boxes, sizeof(RTreeEntry));
+    soa.Assign(buf.data(), sizeof(RTreeEntry), count);
+    std::vector<uint8_t> soa_simd(soa.padded_count());
+    std::vector<uint8_t> soa_scalar(soa.padded_count());
+    std::vector<uint8_t> aos(count);
+    for (const Aabb& q : queries) {
+      IntersectsSoa(soa, q, soa_simd.data());
+      IntersectsSoaScalar(soa, q, soa_scalar.data());
+      IntersectsBatchScalar(buf.data(), sizeof(RTreeEntry), count, q,
+                            aos.data());
+      ASSERT_EQ(std::memcmp(soa_simd.data(), soa_scalar.data(),
+                            soa.padded_count()),
+                0);
+      ASSERT_EQ(std::memcmp(soa_simd.data(), aos.data(), count), 0);
+      for (size_t i = count; i < soa.padded_count(); ++i) {
+        ASSERT_EQ(soa_simd[i], 0) << "padding lane leaked a hit";
+      }
+    }
+  }
+}
+
+TEST(BoxKernelsTest, SphereScalarMatchesIntersectsSphere) {
+  Rng rng(19);
+  SoaBoxes soa;
+  for (int round = 0; round < 60; ++round) {
+    const size_t count = 1 + static_cast<size_t>(rng.UniformInt(0, 90));
+    const auto boxes = AdversarialBoxes(rng, count, /*with_nan=*/false);
+    const auto buf = Serialize(boxes, sizeof(Aabb));
+    soa.Assign(buf.data(), sizeof(Aabb), count);
+    std::vector<uint8_t> hits(soa.padded_count());
+    const Vec3 center(LatticeCoord(rng), LatticeCoord(rng), LatticeCoord(rng));
+    // Radii chosen so d2 == r2 exactly happens (3-4-5 triangles on the
+    // lattice: distance 2.5 from a corner offset (1.5, 2, 0), etc.).
+    for (double radius : {0.0, 0.5, 1.0, 2.0, 2.5, 3.0}) {
+      SphereGateSoaScalar(soa, center, radius, hits.data());
+      for (size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(hits[i] != 0, boxes[i].IntersectsSphere(center, radius))
+            << "box " << boxes[i] << " center " << center << " r " << radius;
+      }
+    }
+  }
+}
+
+TEST(BoxKernelsTest, SphereSimdMatchesScalarBitForBit) {
+  Rng rng(23);
+  SoaBoxes soa;
+  for (int round = 0; round < 60; ++round) {
+    const size_t count = 1 + static_cast<size_t>(rng.UniformInt(0, 90));
+    const auto boxes = AdversarialBoxes(rng, count, /*with_nan=*/true);
+    const auto buf = Serialize(boxes, sizeof(RTreeEntry));
+    soa.Assign(buf.data(), sizeof(RTreeEntry), count);
+    std::vector<uint8_t> simd(soa.padded_count()), scalar(soa.padded_count());
+    const Vec3 center(rng.Uniform(-2, 2), rng.Uniform(-2, 2),
+                      rng.Uniform(-2, 2));
+    for (double radius : {0.0, 0.25, 1.0, 2.5, 4.0}) {
+      SphereGateSoa(soa, center, radius, simd.data());
+      SphereGateSoaScalar(soa, center, radius, scalar.data());
+      ASSERT_EQ(std::memcmp(simd.data(), scalar.data(), soa.padded_count()),
+                0)
+          << "count " << count << " r " << radius;
+    }
+  }
+}
+
+// The cases the crawl depends on, spelled out: closed-interval semantics
+// (touching counts), zero-extent boxes, and containment either way.
+TEST(BoxKernelsTest, TouchingZeroExtentAndContainmentCases) {
+  const Aabb query(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  const std::vector<Aabb> boxes = {
+      Aabb(Vec3(1, 0, 0), Vec3(2, 1, 1)),        // shares the x=1 face
+      Aabb(Vec3(1, 1, 1), Vec3(2, 2, 2)),        // shares only a corner
+      Aabb::FromPoint(Vec3(1, 1, 1)),            // zero-extent on the corner
+      Aabb::FromPoint(Vec3(0.5, 0.5, 0.5)),      // zero-extent inside
+      Aabb(Vec3(-1, -1, -1), Vec3(2, 2, 2)),     // contains the query
+      Aabb(Vec3(0.25, 0.25, 0.25), Vec3(0.75, 0.75, 0.75)),  // contained
+      Aabb(Vec3(1.0000001, 0, 0), Vec3(2, 1, 1)),  // just misses
+      Aabb(),                                       // empty
+  };
+  const std::vector<uint8_t> expected = {1, 1, 1, 1, 1, 1, 0, 0};
+  const auto buf = Serialize(boxes, sizeof(Aabb));
+  std::vector<uint8_t> hits(boxes.size());
+  IntersectsBatch(buf.data(), sizeof(Aabb), boxes.size(), query, hits.data());
+  EXPECT_EQ(std::vector<uint8_t>(hits.begin(), hits.end()), expected);
+
+  SoaBoxes soa;
+  soa.Assign(buf.data(), sizeof(Aabb), boxes.size());
+  std::vector<uint8_t> soa_hits(soa.padded_count());
+  IntersectsSoa(soa, query, soa_hits.data());
+  EXPECT_EQ(std::vector<uint8_t>(soa_hits.begin(),
+                                 soa_hits.begin() + boxes.size()),
+            expected);
+}
+
+// Exact-boundary sphere case: a 3-4-5 triangle puts the box corner at
+// distance exactly 5; d2 == r2 must gate as a hit (closed ball), and one
+// ULP farther must not.
+TEST(BoxKernelsTest, SphereExactBoundary) {
+  const Vec3 center(0, 0, 0);
+  std::vector<Aabb> boxes = {
+      Aabb::FromPoint(Vec3(3, 4, 0)),
+      Aabb::FromPoint(Vec3(std::nextafter(3.0, 4.0), 4, 0)),
+  };
+  const auto buf = Serialize(boxes, sizeof(Aabb));
+  SoaBoxes soa;
+  soa.Assign(buf.data(), sizeof(Aabb), boxes.size());
+  std::vector<uint8_t> hits(soa.padded_count());
+  SphereGateSoa(soa, center, 5.0, hits.data());
+  EXPECT_EQ(hits[0], 1);
+  EXPECT_EQ(hits[1], 0);
+}
+
+}  // namespace
+}  // namespace flat

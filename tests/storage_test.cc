@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <vector>
 
 #include "storage/buffer_pool.h"
 #include "storage/disk_model.h"
+#include "storage/epoch_page_table.h"
 #include "storage/io_stats.h"
 #include "storage/page_file.h"
 
@@ -41,6 +43,119 @@ TEST(PageFileTest, CategoriesAreTracked) {
   EXPECT_EQ(file.PageCountIn(PageCategory::kRTreeInternal), 0u);
   EXPECT_EQ(file.category(2), PageCategory::kSeedLeaf);
   EXPECT_EQ(file.SizeBytes(), 3u * kDefaultPageSize);
+}
+
+// The pointer-stability contract the crawl depends on: a pointer returned
+// by Data/MutableData keeps aliasing the same page across any number of
+// later Allocate calls (slab arenas are never moved or freed). This test
+// crosses several slab boundaries to prove stability does not hinge on
+// staying inside one slab.
+TEST(PageFileTest, DataPointersStayStableAcrossAllocateGrowth) {
+  PageFile file(64);  // smallest page -> most pages per slab arena
+  const PageId first = file.Allocate(PageCategory::kObject);
+  std::memcpy(file.MutableData(first), "stable", 6);
+  const char* const first_ptr = file.Data(first);
+
+  // Grow well past several slab boundaries, tagging a sample of pages.
+  const size_t grow_to = static_cast<size_t>(file.pages_per_slab()) * 3 + 17;
+  std::vector<std::pair<PageId, const char*>> samples = {{first, first_ptr}};
+  while (file.page_count() < grow_to) {
+    const PageId id = file.Allocate(PageCategory::kOther);
+    if (id % 1000 == 0) {
+      std::memcpy(file.MutableData(id), &id, sizeof(id));
+      samples.push_back({id, file.Data(id)});
+    }
+  }
+
+  EXPECT_EQ(file.Data(first), first_ptr)
+      << "Allocate growth must not move existing pages";
+  EXPECT_EQ(std::memcmp(first_ptr, "stable", 6), 0);
+  for (const auto& [id, ptr] : samples) {
+    EXPECT_EQ(file.Data(id), ptr) << "page " << id;
+  }
+  // Pages within one slab are contiguous: neighbors that do not straddle a
+  // slab boundary sit exactly page_size apart.
+  const PageId a = file.pages_per_slab() - 2;
+  EXPECT_EQ(file.Data(a) + file.page_size(), file.Data(a + 1));
+}
+
+TEST(PageFileTest, SlabBoundaryPagesAreZeroedAndTagged) {
+  PageFile file(64);
+  const size_t per_slab = file.pages_per_slab();
+  for (size_t i = 0; i < per_slab + 2; ++i) {
+    file.Allocate(i % 2 == 0 ? PageCategory::kObject
+                             : PageCategory::kSeedLeaf);
+  }
+  // First page of the second slab: zeroed, correct category.
+  const PageId boundary = static_cast<PageId>(per_slab);
+  const char* data = file.Data(boundary);
+  for (uint32_t i = 0; i < file.page_size(); ++i) {
+    ASSERT_EQ(data[i], 0) << "slab-boundary page not zeroed at byte " << i;
+  }
+  EXPECT_EQ(file.category(boundary), PageCategory::kObject);
+  // Even ids 0..per_slab and odd ids 1..per_slab+1: per_slab/2 + 1 each.
+  EXPECT_EQ(file.PageCountIn(PageCategory::kObject), per_slab / 2 + 1);
+  EXPECT_EQ(file.PageCountIn(PageCategory::kSeedLeaf), per_slab / 2 + 1);
+}
+
+TEST(EpochPageTableTest, UnboundedTouchInsertContains) {
+  EpochPageTable table;
+  EXPECT_FALSE(table.Touch(5));
+  table.Insert(5);
+  EXPECT_TRUE(table.Touch(5));
+  EXPECT_TRUE(table.Contains(5));
+  EXPECT_FALSE(table.Contains(4));
+  EXPECT_EQ(table.size(), 1u);
+  table.Insert(100000);  // sparse high id: direct-mapped growth
+  EXPECT_TRUE(table.Contains(100000));
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(EpochPageTableTest, ClearIsColdAndReusable) {
+  EpochPageTable table;
+  for (PageId id = 0; id < 64; ++id) table.Insert(id);
+  EXPECT_EQ(table.size(), 64u);
+  table.Clear();
+  EXPECT_EQ(table.size(), 0u);
+  for (PageId id = 0; id < 64; ++id) {
+    EXPECT_FALSE(table.Contains(id)) << "page " << id << " survived Clear";
+  }
+  // Many epochs of reuse keep behaving like fresh tables.
+  for (int epoch = 0; epoch < 1000; ++epoch) {
+    EXPECT_FALSE(table.Touch(7));
+    table.Insert(7);
+    EXPECT_TRUE(table.Touch(7));
+    table.Clear();
+  }
+}
+
+// The exact LRU semantics the former list+hash implementation had; the
+// eviction order decides which reads are misses, so IoStats parity depends
+// on it.
+TEST(EpochPageTableTest, BoundedEvictsLeastRecentlyUsed) {
+  EpochPageTable table(/*capacity=*/2);
+  table.Insert(1);
+  table.Insert(2);
+  EXPECT_TRUE(table.Touch(1));   // 1 becomes MRU
+  table.Insert(3);               // evicts 2
+  EXPECT_TRUE(table.Contains(1));
+  EXPECT_FALSE(table.Contains(2));
+  EXPECT_TRUE(table.Contains(3));
+  EXPECT_EQ(table.size(), 2u);
+  table.Insert(2);               // now 1 is LRU (3 was the last insert)
+  EXPECT_FALSE(table.Contains(1));
+  EXPECT_TRUE(table.Contains(3));
+  EXPECT_TRUE(table.Contains(2));
+}
+
+TEST(EpochPageTableTest, BoundedSingleSlotChurn) {
+  EpochPageTable table(/*capacity=*/1);
+  for (PageId id = 0; id < 100; ++id) {
+    table.Insert(id);
+    EXPECT_TRUE(table.Contains(id));
+    if (id > 0) EXPECT_FALSE(table.Contains(id - 1));
+    EXPECT_EQ(table.size(), 1u);
+  }
 }
 
 TEST(IoStatsTest, CountsPerCategory) {
