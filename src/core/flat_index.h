@@ -12,6 +12,7 @@
 #include "rtree/entry.h"
 #include "storage/page_cache.h"
 #include "storage/page_file.h"
+#include "storage/page_store.h"
 
 namespace flat {
 
@@ -167,10 +168,12 @@ class FlatIndex {
     return Descriptor{seed_root_, root_is_leaf_, seed_height_};
   }
 
-  /// Re-attaches an index previously built into `file` (e.g., after
-  /// LoadPageFile). Build statistics and partition profiles are not
-  /// persisted; queries behave identically.
-  static FlatIndex Attach(const PageFile* file,
+  /// Re-attaches an index previously built into `file` — any PageStore
+  /// holding the same bytes: an in-memory PageFile (e.g. after
+  /// LoadPageFile) or a DiskPageFile opened over the serialized form. Build
+  /// statistics and partition profiles are not persisted; queries behave
+  /// identically regardless of backend.
+  static FlatIndex Attach(const PageStore* file,
                           const Descriptor& descriptor) {
     FlatIndex index;
     index.file_ = file;
@@ -219,9 +222,9 @@ class FlatIndex {
   /// Height of the seed tree (levels including the metadata leaf level).
   int seed_height() const { return seed_height_; }
 
-  /// The PageFile this index was built into (nullptr before Build/Attach).
+  /// The PageStore this index reads from (nullptr before Build/Attach).
   /// Query engines use it to construct per-worker page caches.
-  const PageFile* file() const { return file_; }
+  const PageStore* file() const { return file_; }
 
  private:
   // The seed and crawl phases are generic over how elements are matched
@@ -251,7 +254,7 @@ class FlatIndex {
                   CrawlGuard guard, CrawlScratch* scratch,
                   const ScanPage& scan) const;
 
-  const PageFile* file_ = nullptr;
+  const PageStore* file_ = nullptr;
   PageId seed_root_ = kInvalidPageId;
   bool root_is_leaf_ = false;  // single seed-leaf tree, no internal nodes
   int seed_height_ = 0;

@@ -152,21 +152,27 @@ void DispatchQuery(const FlatIndex& index, const Query& query,
 
 void QueryEngine::ExecuteQuery(const Job& job, const IndexedQuery& iq,
                                QueryResult* result, WorkerState* state) {
-  // A null or never-built index has no PageFile to read from; the query
+  // A null or never-built index has no PageStore to read from; the query
   // legitimately returns empty.
   if (iq.index == nullptr || iq.index->file() == nullptr) return;
+  const int prefetch_depth = iq.query.prefetch_depth >= 0
+                                 ? iq.query.prefetch_depth
+                                 : options_.prefetch_depth;
   if (job.shared_caches != nullptr) {
     auto it = job.shared_caches->find(iq.index->file());
     assert(it != job.shared_caches->end());
-    StripedBufferPool::Session session(it->second.get(), &result->io);
+    StripedBufferPool::Session session(it->second.get(), &result->io,
+                                       prefetch_depth);
     DispatchQuery(*iq.index, iq.query, &session, result, &state->scratch);
     return;
   }
   // Cold-per-query mode: recycle the worker's pool — Clear() is an O(1)
   // epoch bump, so this is exactly as cold as a fresh pool (identical
-  // IoStats) without rebuilding the page table per query.
+  // IoStats) without rebuilding the page table per query. Clear() runs
+  // before set_stats(), so hints left pending are charged as wasted to the
+  // query that issued them.
   BufferPool* pool = state->pool.get();
-  if (pool == nullptr || &pool->file() != iq.index->file()) {
+  if (pool == nullptr || &pool->store() != iq.index->file()) {
     state->pool = std::make_unique<BufferPool>(iq.index->file(), &result->io,
                                                options_.pool_pages);
     pool = state->pool.get();
@@ -174,6 +180,7 @@ void QueryEngine::ExecuteQuery(const Job& job, const IndexedQuery& iq,
     pool->Clear();
     pool->set_stats(&result->io);
   }
+  pool->set_prefetch_depth(prefetch_depth);
   DispatchQuery(*iq.index, iq.query, pool, result, &state->scratch);
 }
 

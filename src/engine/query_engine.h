@@ -35,6 +35,12 @@ struct Query {
   double radius = 0.0;     // kSphere
   size_t k = 0;            // kKnn
   FlatIndex::CrawlGuard guard = FlatIndex::CrawlGuard::kPartitionMbr;
+  /// Per-query prefetch depth: maximum outstanding crawl-frontier hints
+  /// while this query runs. 0 disables prefetching, negative (default)
+  /// inherits QueryEngine::Options::prefetch_depth. Prefetching never
+  /// changes results or logical IoStats read counts — only wall-clock on a
+  /// disk-backed store and the prefetch counters.
+  int prefetch_depth = -1;
 
   static Query Range(
       const Aabb& box,
@@ -167,9 +173,14 @@ class QueryEngine {
     /// Per-query BufferPool capacity in kColdPerQuery mode (0 = unbounded).
     size_t pool_pages = 0;
     /// Shared cache capacity in kSharedStriped mode (0 = unbounded),
-    /// per distinct PageFile in the batch.
+    /// per distinct PageStore in the batch.
     size_t shared_cache_pages = 0;
     CacheMode cache_mode = CacheMode::kColdPerQuery;
+    /// Default prefetch depth for queries that leave Query::prefetch_depth
+    /// negative: maximum outstanding crawl-frontier hints per query. 0
+    /// (default) turns prefetching off; useful values are a few dozen on a
+    /// disk-backed store (see docs/benchmarks.md).
+    int prefetch_depth = 0;
   };
 
   /// Engine bound to one index; `Run(vector<Query>)` targets it.
@@ -209,7 +220,7 @@ class QueryEngine {
   };
 
   using SharedCacheMap =
-      std::unordered_map<const PageFile*, std::unique_ptr<StripedBufferPool>>;
+      std::unordered_map<const PageStore*, std::unique_ptr<StripedBufferPool>>;
 
   struct Job {
     const std::vector<IndexedQuery>* batch = nullptr;
@@ -223,7 +234,7 @@ class QueryEngine {
   /// cache and per-query accounting a fresh pool would, without
   /// re-allocating the pool's page table each time. The pool is rebuilt
   /// only when a multi-index batch switches the worker to a different
-  /// PageFile.
+  /// PageStore.
   struct WorkerState {
     CrawlScratch scratch;
     std::unique_ptr<BufferPool> pool;

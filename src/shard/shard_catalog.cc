@@ -44,6 +44,20 @@ Aabb ReadAabb(std::istream& in) {
 }  // namespace
 
 void SaveShardCatalog(const ShardCatalog& catalog, std::ostream& out) {
+  // Guard the u32 casts below: a catalog too large for the format (or with
+  // a name the loader would reject) must fail here, not serialize a
+  // well-formed file describing the wrong data.
+  if (catalog.shards.size() > kMaxShards) {
+    throw std::runtime_error(
+        "SaveShardCatalog: shard count exceeds the format's limit");
+  }
+  for (const ShardCatalogEntry& shard : catalog.shards) {
+    if (shard.page_file_name.empty() ||
+        shard.page_file_name.size() > kMaxNameLength) {
+      throw std::runtime_error(
+          "SaveShardCatalog: shard file name length out of range");
+    }
+  }
   out.write(kMagic, sizeof(kMagic));
   WritePod(out, catalog.page_size);
   WritePod(out, catalog.total_elements);

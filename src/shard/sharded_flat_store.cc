@@ -11,6 +11,7 @@
 
 #include "core/partitioner.h"
 #include "parallel/thread_pool.h"
+#include "storage/disk_page_file.h"
 #include "storage/persistence.h"
 
 namespace flat {
@@ -127,12 +128,17 @@ ShardedFlatStore ShardedFlatStore::Build(std::vector<RTreeEntry> elements,
     store.files_.resize(shard_count);
     store.indexes_.resize(shard_count);
     stats.per_shard.resize(shard_count);
+    // Builds need the concrete PageFile (MutableData); files_ holds the
+    // type-erased PageStore handles that queries read through.
+    std::vector<PageFile*> shard_files(shard_count);
     for (size_t i = 0; i < shard_count; ++i) {
-      store.files_[i] = std::make_unique<PageFile>(options.page_size);
+      auto file = std::make_unique<PageFile>(options.page_size);
+      shard_files[i] = file.get();
+      store.files_[i] = std::move(file);
     }
     ParallelFor(pool, shard_count, /*grain=*/1, [&](size_t, size_t i) {
       store.indexes_[i] = FlatIndex::Build(
-          store.files_[i].get(), std::move(shard_elements[i]),
+          shard_files[i], std::move(shard_elements[i]),
           &stats.per_shard[i]);
     });
     stats.build_seconds = SecondsSince(t_build);
@@ -291,7 +297,8 @@ void ShardedFlatStore::Save(const std::string& dir) const {
 }
 
 ShardedFlatStore ShardedFlatStore::Load(const std::string& dir,
-                                        size_t num_threads) {
+                                        size_t num_threads,
+                                        LoadBackend backend) {
   namespace fs = std::filesystem;
   const fs::path root(dir);
 
@@ -307,13 +314,19 @@ ShardedFlatStore ShardedFlatStore::Load(const std::string& dir,
   store.indexes_.reserve(store.catalog_.shards.size());
   for (const ShardCatalogEntry& entry : store.catalog_.shards) {
     const fs::path path = root / entry.page_file_name;
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-      throw std::runtime_error("ShardedFlatStore::Load: cannot open " +
-                               path.string());
+    if (backend == LoadBackend::kDisk) {
+      // Serve the shard straight from the file: DiskPageFile validates the
+      // header against the actual file size and maps it read-only.
+      store.files_.push_back(DiskPageFile::Open(path.string()));
+    } else {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        throw std::runtime_error("ShardedFlatStore::Load: cannot open " +
+                                 path.string());
+      }
+      store.files_.push_back(LoadPageFile(in));
     }
-    store.files_.push_back(LoadPageFile(in));
-    const PageFile& file = *store.files_.back();
+    const PageStore& file = *store.files_.back();
     if (file.page_size() != store.catalog_.page_size) {
       throw std::runtime_error(
           "ShardedFlatStore::Load: shard page size disagrees with catalog: " +

@@ -11,6 +11,7 @@
 #include "shard/shard_catalog.h"
 #include "storage/io_stats.h"
 #include "storage/page_file.h"
+#include "storage/page_store.h"
 
 namespace flat {
 
@@ -127,19 +128,34 @@ class ShardedFlatStore {
   /// files with those names are overwritten.
   void Save(const std::string& dir) const;
 
+  /// Which storage backend a Load opens each shard's page file with.
+  enum class LoadBackend {
+    /// DiskPageFile (default): pages are served from an mmap'd (fallback:
+    /// pread) read-only view of the shard file — real out-of-core
+    /// execution, with crawl prefetch hints forwarded to the OS.
+    kDisk,
+    /// LoadPageFile into in-memory slab arenas (the pre-disk behavior);
+    /// page reads are counters only. Byte- and IoStats-identical to kDisk.
+    kMemory,
+  };
+
   /// Reopens a store previously written by Save. `num_threads` configures
   /// the reopened store's query engine (1 = serial, 0 = hardware
-  /// concurrency). Queries behave identically to the saved store's. Throws
-  /// std::runtime_error on missing/corrupt catalog or page files.
-  static ShardedFlatStore Load(const std::string& dir, size_t num_threads = 1);
+  /// concurrency). Queries behave identically to the saved store's — and
+  /// identically across backends. Throws std::runtime_error on
+  /// missing/corrupt catalog or page files.
+  static ShardedFlatStore Load(const std::string& dir, size_t num_threads = 1,
+                               LoadBackend backend = LoadBackend::kDisk);
 
   size_t shard_count() const { return indexes_.size(); }
   const ShardCatalog& catalog() const { return catalog_; }
   const BuildStats& build_stats() const { return build_stats_; }
 
-  /// Direct access to one shard's index and PageFile (bench/test hooks).
+  /// Direct access to one shard's index and PageStore (bench/test hooks).
+  /// A built store's shards are in-memory PageFiles; a loaded store's are
+  /// whatever LoadBackend was chosen.
   const FlatIndex& shard_index(size_t shard) const { return indexes_[shard]; }
-  const PageFile& shard_file(size_t shard) const { return *files_[shard]; }
+  const PageStore& shard_file(size_t shard) const { return *files_[shard]; }
 
  private:
   /// Shard indices whose element bounds intersect `gate`, in shard order.
@@ -151,7 +167,7 @@ class ShardedFlatStore {
   void AttachEngine(size_t num_threads);
 
   ShardCatalog catalog_;
-  std::vector<std::unique_ptr<PageFile>> files_;   // one per shard
+  std::vector<std::unique_ptr<PageStore>> files_;  // one per shard
   std::vector<FlatIndex> indexes_;                 // parallel to files_
   std::unique_ptr<QueryEngine> engine_;            // multi-index, owns pool
   BuildStats build_stats_;

@@ -1,13 +1,14 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace flat {
 
-BufferPool::BufferPool(const PageFile* file, IoStats* stats,
+BufferPool::BufferPool(const PageStore* store, IoStats* stats,
                        size_t capacity_pages)
-    : file_(file), stats_(stats), table_(capacity_pages) {
-  assert(file_ != nullptr);
+    : store_(store), stats_(stats), table_(capacity_pages) {
+  assert(store_ != nullptr);
   assert(stats_ != nullptr);
 }
 
@@ -16,13 +17,41 @@ const char* BufferPool::Read(PageId id) {
     ++hits_;
   } else {
     ++misses_;
-    stats_->RecordRead(file_->category(id));
+    stats_->RecordRead(store_->category(id));
     table_.Insert(id);
+    if (!pending_.empty()) {
+      auto it = std::find(pending_.begin(), pending_.end(), id);
+      if (it != pending_.end()) {
+        // The miss landed on a hinted page: the prefetch overlapped real
+        // work. Swap-erase; pending order carries no meaning.
+        *it = pending_.back();
+        pending_.pop_back();
+        stats_->RecordPrefetchHit();
+      }
+    }
   }
-  return file_->Data(id);
+  return store_->Data(id);
 }
 
-void BufferPool::Clear() { table_.Clear(); }
+void BufferPool::Prefetch(PageId id) {
+  if (prefetch_depth_ <= 0) return;
+  if (table_.Contains(id)) return;  // already paid for; nothing to overlap
+  if (pending_.size() >= static_cast<size_t>(prefetch_depth_)) return;
+  if (std::find(pending_.begin(), pending_.end(), id) != pending_.end()) {
+    return;
+  }
+  pending_.push_back(id);
+  stats_->RecordPrefetchIssued();
+  store_->Prefetch(id);
+}
+
+void BufferPool::Clear() {
+  if (!pending_.empty()) {
+    stats_->RecordPrefetchWasted(pending_.size());
+    pending_.clear();
+  }
+  table_.Clear();
+}
 
 void BufferPool::set_stats(IoStats* stats) {
   assert(stats != nullptr);

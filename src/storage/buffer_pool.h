@@ -2,15 +2,16 @@
 #define FLAT_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "storage/epoch_page_table.h"
 #include "storage/io_stats.h"
 #include "storage/page_cache.h"
-#include "storage/page_file.h"
+#include "storage/page_store.h"
 
 namespace flat {
 
-/// Single-threaded LRU page cache in front of a PageFile.
+/// Single-threaded LRU page cache in front of a PageStore.
 ///
 /// A `Read` that misses the cache counts one page read (in the page's
 /// category) against the attached IoStats; hits are free, mirroring the OS
@@ -21,20 +22,42 @@ namespace flat {
 /// per query is exactly as cold as — and much cheaper than — constructing a
 /// fresh pool per query. For concurrent readers use StripedBufferPool (one
 /// Session per thread).
+///
+/// Prefetching: `set_prefetch_depth(d)` with d > 0 turns `Prefetch` into a
+/// real hint — forwarded to the PageStore (OS readahead / background touch
+/// on DiskPageFile, a no-op on the in-memory PageFile) and tracked in a
+/// small pending set of at most d pages. Prefetch never inserts into the
+/// cache table, so read accounting is bit-identical with prefetching on or
+/// off; only the IoStats prefetch counters move (issued on hint, hit when a
+/// miss lands on a pending page, wasted for hints still pending at Clear).
 class BufferPool final : public PageCache {
  public:
   /// `capacity_pages` bounds the number of cached pages (0 means unbounded).
-  BufferPool(const PageFile* file, IoStats* stats, size_t capacity_pages = 0);
+  BufferPool(const PageStore* store, IoStats* stats,
+             size_t capacity_pages = 0);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Fetches a page, charging a read on miss. The returned pointer aliases
-  /// the PageFile's storage and stays valid for the file's lifetime (see
+  /// the PageStore's storage and stays valid for the store's lifetime (see
   /// PageCache::Read); eviction only affects hit/miss accounting.
   const char* Read(PageId id) override;
 
-  /// Drops every cached page (cold cache).
+  /// Hints `id` (no-op unless a prefetch depth is set; see class comment).
+  void Prefetch(PageId id) override;
+
+  /// Cached-page data without charging or recency update; nullptr on miss.
+  const char* Peek(PageId id) override {
+    return table_.Contains(id) ? store_->Data(id) : nullptr;
+  }
+
+  bool prefetch_enabled() const override { return prefetch_depth_ > 0; }
+
+  /// Drops every cached page (cold cache). Hints still pending are counted
+  /// as wasted against the currently attached IoStats — the QueryEngine
+  /// calls Clear() before retargeting stats, so waste lands on the query
+  /// that issued the hints.
   void Clear();
 
   /// Redirects future miss charges to `stats` (never null). Lets a reused
@@ -42,6 +65,14 @@ class BufferPool final : public PageCache {
   /// this with Clear() to keep the paper's cold-per-query methodology while
   /// amortizing the pool across a worker's whole batch share.
   void set_stats(IoStats* stats);
+
+  /// Maximum outstanding prefetch hints (0 disables prefetching; hints
+  /// beyond the depth are dropped). This is the per-query knob the
+  /// QueryEngine sets from Query/Options::prefetch_depth.
+  void set_prefetch_depth(int depth) {
+    prefetch_depth_ = depth > 0 ? depth : 0;
+  }
+  int prefetch_depth() const { return prefetch_depth_; }
 
   /// True if the page is currently cached (test hook; does not touch LRU
   /// order or counters).
@@ -54,12 +85,17 @@ class BufferPool final : public PageCache {
   uint64_t misses() const { return misses_; }
 
   IoStats* stats() { return stats_; }
-  const PageFile& file() const { return *file_; }
+  const PageStore& store() const { return *store_; }
 
  private:
-  const PageFile* file_;
+  const PageStore* store_;
   IoStats* stats_;
   EpochPageTable table_;
+
+  // Outstanding prefetch hints; bounded by prefetch_depth_, so a linear
+  // scan beats any hashed structure at crawl-frontier sizes.
+  std::vector<PageId> pending_;
+  int prefetch_depth_ = 0;
 
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

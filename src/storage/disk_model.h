@@ -2,6 +2,7 @@
 #define FLAT_STORAGE_DISK_MODEL_H_
 
 #include <cstdint>
+#include <stdexcept>
 
 #include "storage/io_stats.h"
 
@@ -32,7 +33,25 @@ class DiskModel {
   };
 
   DiskModel() : DiskModel(Params{}) {}
-  explicit DiskModel(const Params& params) : params_(params) {}
+
+  /// Validates `params` up front: ElapsedMs divides by
+  /// `1.0 - cpu_fraction` and PageReadMs by `transfer_mb_per_s`, so a
+  /// cpu_fraction at or above 1 or a non-positive transfer rate would
+  /// silently yield Inf/negative simulated time deep inside a benchmark.
+  explicit DiskModel(const Params& params) : params_(params) {
+    if (!(params_.cpu_fraction >= 0.0) || params_.cpu_fraction >= 1.0) {
+      throw std::invalid_argument(
+          "DiskModel: cpu_fraction must be in [0, 1)");
+    }
+    if (!(params_.transfer_mb_per_s > 0.0)) {
+      throw std::invalid_argument(
+          "DiskModel: transfer_mb_per_s must be positive");
+    }
+    if (!(params_.seek_ms >= 0.0) || !(params_.rotational_ms >= 0.0)) {
+      throw std::invalid_argument(
+          "DiskModel: seek_ms and rotational_ms must be non-negative");
+    }
+  }
 
   /// Simulated milliseconds for one random cold read of `page_size` bytes.
   double PageReadMs(uint32_t page_size) const {

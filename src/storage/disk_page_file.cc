@@ -1,0 +1,302 @@
+#include "storage/disk_page_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+namespace flat {
+namespace {
+
+constexpr char kMagic[8] = {'F', 'L', 'A', 'T', 'P', 'G', 'F', '1'};
+constexpr uint64_t kHeaderBytes = 16;  // magic + u32 page_size + u32 count
+
+[[noreturn]] void Fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("DiskPageFile: " + what + ": " + path);
+}
+
+/// pread that survives partial reads and EINTR; throws on error/EOF.
+void ReadFully(int fd, const std::string& path, void* dst, size_t len,
+               uint64_t offset) {
+  char* out = static_cast<char*>(dst);
+  while (len > 0) {
+    const ssize_t n = ::pread(fd, out, len, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Fail(path, "read failed (" + std::string(std::strerror(errno)) + ")");
+    }
+    if (n == 0) Fail(path, "unexpected end of file");
+    out += n;
+    len -= static_cast<size_t>(n);
+    offset += static_cast<uint64_t>(n);
+  }
+}
+
+uint32_t LoadU32(const char* bytes) {
+  uint32_t value;
+  std::memcpy(&value, bytes, sizeof(value));
+  return value;
+}
+
+// Sentinel marking a pread-mode page whose read is in flight. A resident
+// slot moves null -> kBusyPage -> buffer (or back to null on a failed
+// read); exactly one thread ever reads a given page from the fd, so the
+// prefetch toucher and the query thread never duplicate the same I/O.
+char* const kBusyPage = reinterpret_cast<char*>(1);
+
+}  // namespace
+
+std::unique_ptr<DiskPageFile> DiskPageFile::Open(const std::string& path,
+                                                 const Options& options) {
+  // The destructor handles partially initialized state, so any throw below
+  // releases the fd/mapping through the unique_ptr.
+  std::unique_ptr<DiskPageFile> file(new DiskPageFile());
+  file->path_ = path;
+
+  file->fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (file->fd_ < 0) {
+    Fail(path, "cannot open (" + std::string(std::strerror(errno)) + ")");
+  }
+
+  struct stat st;
+  if (::fstat(file->fd_, &st) != 0) {
+    Fail(path, "fstat failed (" + std::string(std::strerror(errno)) + ")");
+  }
+  file->file_size_ = static_cast<uint64_t>(st.st_size);
+  if (file->file_size_ < kHeaderBytes) Fail(path, "truncated header");
+
+  char header[kHeaderBytes];
+  ReadFully(file->fd_, path, header, sizeof(header), 0);
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    Fail(path, "bad magic (not a FLAT page file or unsupported version)");
+  }
+  file->page_size_ = LoadU32(header + 8);
+  const uint32_t page_count = LoadU32(header + 12);
+  if (file->page_size_ < 64 || file->page_size_ > (64u << 20)) {
+    Fail(path, "implausible page size");
+  }
+
+  // The page_count header field is untrusted until it is consistent with
+  // the file's actual size — this is what stops a hostile 16-byte header
+  // from provoking huge allocations or out-of-range reads.
+  const uint64_t expected_size =
+      kHeaderBytes +
+      uint64_t{page_count} * (uint64_t{1} + file->page_size_);
+  if (file->file_size_ < expected_size) {
+    Fail(path, "truncated (header page count exceeds file size)");
+  }
+  if (file->file_size_ > expected_size) {
+    Fail(path, "size mismatch (trailing bytes after last page)");
+  }
+  file->data_offset_ = kHeaderBytes + page_count;
+
+  // Private, validated copy of the category table: category() indexes
+  // per-category arrays, so serving it from a file-backed mapping a hostile
+  // writer could flip under us would be an out-of-bounds primitive.
+  file->categories_.resize(page_count);
+  if (page_count > 0) {
+    ReadFully(file->fd_, path, file->categories_.data(), page_count,
+              kHeaderBytes);
+  }
+  for (uint8_t c : file->categories_) {
+    if (c >= kNumPageCategories) Fail(path, "invalid page category");
+    ++file->pages_in_category_[c];
+  }
+
+  if (options.use_mmap) {
+    void* base = ::mmap(nullptr, file->file_size_, PROT_READ, MAP_PRIVATE,
+                        file->fd_, 0);
+    if (base != MAP_FAILED) {
+      file->map_base_ = static_cast<const char*>(base);
+      file->map_length_ = file->file_size_;
+    }
+    // mmap failure is not fatal: fall through to the pread mode.
+  }
+  if (file->map_base_ == nullptr) {
+    file->resident_ = std::make_unique<std::atomic<char*>[]>(page_count);
+  }
+
+  file->async_prefetch_ = options.async_prefetch;
+  file->prefetch_queue_limit_ = options.prefetch_queue_limit;
+  if (file->async_prefetch_) {
+    file->toucher_ = std::thread([f = file.get()] { f->TouchLoop(); });
+  }
+  return file;
+}
+
+DiskPageFile::~DiskPageFile() {
+  if (toucher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      stop_ = true;
+    }
+    queue_cv_.notify_all();
+    toucher_.join();
+  }
+  if (resident_ != nullptr) {
+    for (size_t i = 0; i < categories_.size(); ++i) {
+      char* buffer = resident_[i].load(std::memory_order_relaxed);
+      if (buffer != kBusyPage) std::free(buffer);
+    }
+  }
+  if (map_base_ != nullptr) {
+    ::munmap(const_cast<char*>(map_base_), map_length_);
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+const char* DiskPageFile::Data(PageId id) const {
+  if (map_base_ != nullptr) return map_base_ + PageOffset(id);
+  return EnsureResident(id);
+}
+
+const char* DiskPageFile::EnsureResident(PageId id) const {
+  std::atomic<char*>& slot = resident_[id];
+  for (;;) {
+    char* resident = slot.load(std::memory_order_acquire);
+    if (resident == kBusyPage) {
+      // Another thread (typically the prefetch toucher) is mid-read; waiting
+      // for its result is strictly cheaper than issuing a duplicate pread.
+      std::this_thread::yield();
+      continue;
+    }
+    if (resident != nullptr) return resident;
+
+    char* expected = nullptr;
+    if (!slot.compare_exchange_weak(expected, kBusyPage,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+      continue;  // lost the claim; re-examine the slot
+    }
+    char* buffer = static_cast<char*>(std::malloc(page_size_));
+    if (buffer == nullptr) {
+      slot.store(nullptr, std::memory_order_release);
+      throw std::bad_alloc();
+    }
+    try {
+      ReadFully(fd_, path_, buffer, page_size_, PageOffset(id));
+    } catch (...) {
+      std::free(buffer);
+      slot.store(nullptr, std::memory_order_release);
+      throw;
+    }
+    slot.store(buffer, std::memory_order_release);
+    return buffer;
+  }
+}
+
+void DiskPageFile::Prefetch(PageId id) const {
+  if (id >= categories_.size()) return;
+  if (async_prefetch_) {
+    // With a background toucher the touch *subsumes* the OS advice: it
+    // faults (mmap) resp. reads (pread) the page itself, off the query
+    // thread. Issuing madvise/fadvise here too would put a syscall on the
+    // query thread per hint — on some platforms (measured ~10 us under
+    // gVisor) that alone exceeds the cost of the cached read the hint is
+    // trying to hide. So the hot path is just a queue push, and the
+    // condition variable is only signalled on the empty->non-empty
+    // transition (the toucher drains whole batches; while it is awake,
+    // further pushes need no wakeup).
+    bool was_empty = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (stop_ || queue_.size() >= prefetch_queue_limit_) return;  // advisory
+      was_empty = queue_.empty();
+      queue_.push_back(id);
+    }
+    if (was_empty) queue_cv_.notify_one();
+    return;
+  }
+  // No toucher: OS readahead advice is the only asynchrony available.
+  if (map_base_ != nullptr) {
+    // madvise wants an OS-page-aligned address: align the range outward.
+    static const uintptr_t kOsPage =
+        static_cast<uintptr_t>(::sysconf(_SC_PAGESIZE));
+    const uintptr_t begin =
+        reinterpret_cast<uintptr_t>(map_base_) + PageOffset(id);
+    const uintptr_t aligned = begin & ~(kOsPage - 1);
+    ::madvise(reinterpret_cast<void*>(aligned),
+              (begin - aligned) + page_size_, MADV_WILLNEED);
+  } else {
+#if defined(POSIX_FADV_WILLNEED)
+    ::posix_fadvise(fd_, static_cast<off_t>(PageOffset(id)), page_size_,
+                    POSIX_FADV_WILLNEED);
+#endif
+  }
+}
+
+void DiskPageFile::Touch(PageId id) const {
+  if (map_base_ != nullptr) {
+    // Fault every OS page of the flat page into the process off the query
+    // thread; the volatile reads cannot be elided.
+    const char* begin = map_base_ + PageOffset(id);
+    for (uint32_t off = 0; off < page_size_; off += 4096) {
+      volatile char sink = begin[off];
+      (void)sink;
+    }
+  } else {
+    EnsureResident(id);
+  }
+}
+
+void DiskPageFile::TouchLoop() {
+  std::vector<PageId> batch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;  // hints are advisory; no drain on shutdown
+      batch.swap(queue_);
+    }
+    for (PageId id : batch) {
+      try {
+        Touch(id);
+        pages_touched_.fetch_add(1, std::memory_order_relaxed);
+      } catch (...) {
+        // A failed touch only loses the hint; the query-path read will
+        // surface any real I/O error.
+      }
+    }
+    batch.clear();
+  }
+}
+
+void DiskPageFile::DropOsCache() {
+  {
+    // Entries queued before the drop would re-warm the cache right after;
+    // discard them (hints are advisory).
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.clear();
+  }
+  if (map_base_ != nullptr) {
+    // Release this process's mapped copies, then ask the kernel to drop the
+    // file's page-cache pages. Subsequent reads re-fault from disk.
+    ::madvise(const_cast<char*>(map_base_), map_length_, MADV_DONTNEED);
+  }
+  if (resident_ != nullptr) {
+    // pread mode: forget the resident copies. This (documentedly) breaks
+    // pointer stability for pages returned before the drop — DropOsCache is
+    // a benchmark-harness operation, not a query-time one. A slot the
+    // toucher is mid-read on (kBusyPage) is left alone: it will finish
+    // materializing, costing only a slightly-less-cold next pass.
+    for (size_t i = 0; i < categories_.size(); ++i) {
+      char* value = resident_[i].load(std::memory_order_acquire);
+      if (value == nullptr || value == kBusyPage) continue;
+      if (resident_[i].compare_exchange_strong(value, nullptr,
+                                               std::memory_order_acq_rel)) {
+        std::free(value);
+      }
+    }
+  }
+#if defined(POSIX_FADV_DONTNEED)
+  ::posix_fadvise(fd_, 0, 0, POSIX_FADV_DONTNEED);
+#endif
+}
+
+}  // namespace flat

@@ -13,11 +13,27 @@ namespace flat {
 /// report either total page reads or a per-category breakdown; every index in
 /// this repository performs reads through a BufferPool that charges misses
 /// here, so FLAT and the R-Tree baselines are accounted identically.
+///
+/// Prefetch accounting is carried alongside but deliberately separate from
+/// the read counters: a prefetch hint never is and never becomes a read, so
+/// the logical read counts stay identical whether prefetching is on, off, or
+/// unsupported by the backend. `issued` counts hints forwarded to the
+/// PageStore, `hits` counts misses whose page had an outstanding hint (the
+/// prefetch did useful work), `wasted` counts hints still outstanding when
+/// the cache was cleared (pages hinted but never read).
 class IoStats {
  public:
   void RecordRead(PageCategory category) {
     ++reads_[static_cast<size_t>(category)];
   }
+
+  void RecordPrefetchIssued() { ++prefetch_issued_; }
+  void RecordPrefetchHit() { ++prefetch_hits_; }
+  void RecordPrefetchWasted(uint64_t count) { prefetch_wasted_ += count; }
+
+  uint64_t PrefetchIssued() const { return prefetch_issued_; }
+  uint64_t PrefetchHits() const { return prefetch_hits_; }
+  uint64_t PrefetchWasted() const { return prefetch_wasted_; }
 
   uint64_t ReadsIn(PageCategory category) const {
     return reads_[static_cast<size_t>(category)];
@@ -34,10 +50,18 @@ class IoStats {
     return TotalReads() * page_size;
   }
 
-  void Reset() { reads_.fill(0); }
+  void Reset() {
+    reads_.fill(0);
+    prefetch_issued_ = 0;
+    prefetch_hits_ = 0;
+    prefetch_wasted_ = 0;
+  }
 
   IoStats& operator+=(const IoStats& other) {
     for (size_t i = 0; i < reads_.size(); ++i) reads_[i] += other.reads_[i];
+    prefetch_issued_ += other.prefetch_issued_;
+    prefetch_hits_ += other.prefetch_hits_;
+    prefetch_wasted_ += other.prefetch_wasted_;
     return *this;
   }
 
@@ -47,11 +71,17 @@ class IoStats {
     for (size_t i = 0; i < reads_.size(); ++i) {
       delta.reads_[i] = reads_[i] - snapshot.reads_[i];
     }
+    delta.prefetch_issued_ = prefetch_issued_ - snapshot.prefetch_issued_;
+    delta.prefetch_hits_ = prefetch_hits_ - snapshot.prefetch_hits_;
+    delta.prefetch_wasted_ = prefetch_wasted_ - snapshot.prefetch_wasted_;
     return delta;
   }
 
  private:
   std::array<uint64_t, kNumPageCategories> reads_{};
+  uint64_t prefetch_issued_ = 0;
+  uint64_t prefetch_hits_ = 0;
+  uint64_t prefetch_wasted_ = 0;
 };
 
 }  // namespace flat

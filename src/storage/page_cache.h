@@ -22,12 +22,31 @@ class PageCache {
   virtual ~PageCache() = default;
 
   /// Fetches a page, charging a read on miss. Implementations must return a
-  /// pointer that stays valid for the lifetime of the underlying PageFile,
+  /// pointer that stays valid for the lifetime of the underlying PageStore,
   /// independent of later Reads or eviction — index code (e.g. the FLAT
   /// crawl) holds a record pointer across further Read calls. Both current
   /// implementations satisfy this by returning pointers into the immutable
-  /// PageFile; eviction only forgets accounting state.
+  /// PageStore; eviction only forgets accounting state.
   virtual const char* Read(PageId id) = 0;
+
+  /// Advisory hint that `id` will likely be Read soon. Never charges a read
+  /// and never inserts the page into the cache: a later Read still counts
+  /// its miss, so logical IoStats read counts are identical with prefetching
+  /// on or off (only the prefetch issued/hit/wasted counters move). The
+  /// default is a no-op; caching implementations forward the hint to the
+  /// PageStore (where DiskPageFile turns it into OS readahead and a
+  /// background touch) when a prefetch depth is configured.
+  virtual void Prefetch(PageId id) { (void)id; }
+
+  /// Returns the page's data only if it is already cached, else nullptr.
+  /// Charges nothing and does not disturb recency. Lets the crawl peek at
+  /// pages it has provably paid for (e.g. to chase a metadata record's
+  /// object page for a deeper prefetch hint) without perturbing accounting.
+  virtual const char* Peek(PageId id) { (void)id; return nullptr; }
+
+  /// True when this cache has a prefetch depth configured — lets hot loops
+  /// skip hint generation entirely when prefetching is off.
+  virtual bool prefetch_enabled() const { return false; }
 };
 
 }  // namespace flat

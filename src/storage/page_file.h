@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "storage/page.h"
+#include "storage/page_store.h"
 
 namespace flat {
 
@@ -37,7 +38,12 @@ namespace flat {
 /// must be externally synchronized (the parallel build pipeline allocates
 /// serially and lets workers fill disjoint pages). Data()/category() on a
 /// fully built file are safe to call from any number of threads.
-class PageFile {
+///
+/// PageFile is the in-memory PageStore backend; DiskPageFile
+/// (storage/disk_page_file.h) serves the same serialized bytes from a real
+/// file. The class is final so concrete PageFile pointers devirtualize the
+/// hot accessors.
+class PageFile final : public PageStore {
  public:
   /// Target slab size; the real slab is the largest power-of-two page count
   /// that fits (at least one page). Slabs are calloc-backed, so untouched
@@ -61,23 +67,23 @@ class PageFile {
   /// Raw read access. Query code must not call this directly — use
   /// BufferPool::Read so the access is charged. The returned pointer is
   /// stable for the file's lifetime (see class comment).
-  const char* Data(PageId id) const { return PageAddress(id); }
+  const char* Data(PageId id) const override { return PageAddress(id); }
 
-  PageCategory category(PageId id) const { return categories_[id]; }
+  PageCategory category(PageId id) const override { return categories_[id]; }
 
-  uint32_t page_size() const { return page_size_; }
+  uint32_t page_size() const override { return page_size_; }
 
   /// Number of allocated pages.
-  size_t page_count() const { return categories_.size(); }
+  size_t page_count() const override { return categories_.size(); }
 
   /// Number of allocated pages in a given category (O(1); a packed side
   /// array keeps the per-category tallies).
-  size_t PageCountIn(PageCategory category) const {
+  size_t PageCountIn(PageCategory category) const override {
     return pages_in_category_[static_cast<size_t>(category)];
   }
 
   /// Total simulated on-disk size in bytes.
-  uint64_t SizeBytes() const {
+  uint64_t SizeBytes() const override {
     return categories_.size() * uint64_t{page_size_};
   }
 

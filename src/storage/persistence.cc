@@ -1,7 +1,9 @@
 #include "storage/persistence.h"
 
+#include <algorithm>
 #include <cstring>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
 #include <vector>
@@ -24,7 +26,14 @@ uint32_t ReadU32(std::istream& in) {
 
 }  // namespace
 
-void SavePageFile(const PageFile& file, std::ostream& out) {
+void SavePageFile(const PageStore& file, std::ostream& out) {
+  // The format stores the page count in a u32; a bigger store must fail
+  // loudly rather than produce a well-formed file describing the wrong
+  // prefix of the data.
+  if (file.page_count() > std::numeric_limits<uint32_t>::max()) {
+    throw std::runtime_error(
+        "SavePageFile: page count exceeds the format's u32 field");
+  }
   out.write(kMagic, sizeof(kMagic));
   WriteU32(out, file.page_size());
   WriteU32(out, static_cast<uint32_t>(file.page_count()));
@@ -51,9 +60,39 @@ std::unique_ptr<PageFile> LoadPageFile(std::istream& in) {
     throw std::runtime_error("LoadPageFile: implausible page size");
   }
 
-  std::vector<uint8_t> categories(page_count);
-  in.read(reinterpret_cast<char*>(categories.data()), page_count);
-  if (!in) throw std::runtime_error("LoadPageFile: truncated category table");
+  // The header's page_count is untrusted. Where the stream is seekable,
+  // bound it against the bytes actually present before allocating anything;
+  // either way, parse incrementally below so a hostile count on a short
+  // stream fails on its first truncated entry, not with a multi-GiB resize.
+  const std::istream::pos_type body_pos = in.tellg();
+  if (body_pos != std::istream::pos_type(-1)) {
+    in.seekg(0, std::ios::end);
+    const std::istream::pos_type end_pos = in.tellg();
+    in.seekg(body_pos);
+    if (!in) throw std::runtime_error("LoadPageFile: seek failed");
+    if (end_pos != std::istream::pos_type(-1)) {
+      const uint64_t remaining =
+          static_cast<uint64_t>(end_pos - body_pos);
+      const uint64_t expected =
+          uint64_t{page_count} * (uint64_t{1} + page_size);
+      if (remaining < expected) {
+        throw std::runtime_error(
+            "LoadPageFile: header page count exceeds stream size");
+      }
+    }
+  }
+
+  std::vector<uint8_t> categories;
+  uint8_t chunk[4096];
+  while (categories.size() < page_count) {
+    const size_t want = std::min<size_t>(
+        sizeof(chunk), page_count - categories.size());
+    in.read(reinterpret_cast<char*>(chunk), static_cast<std::streamsize>(want));
+    if (static_cast<size_t>(in.gcount()) != want) {
+      throw std::runtime_error("LoadPageFile: truncated category table");
+    }
+    categories.insert(categories.end(), chunk, chunk + want);
+  }
 
   auto file = std::make_unique<PageFile>(page_size);
   for (uint32_t i = 0; i < page_count; ++i) {

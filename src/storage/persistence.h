@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "storage/page_file.h"
+#include "storage/page_store.h"
 
 namespace flat {
 
@@ -21,9 +22,18 @@ namespace flat {
 ///
 /// The format is versioned via the magic; readers reject unknown magics and
 /// truncated streams by throwing std::runtime_error.
-void SavePageFile(const PageFile& file, std::ostream& out);
+///
+/// Accepts any PageStore (so a DiskPageFile can be re-saved); throws
+/// std::runtime_error if the store's page count exceeds the format's u32
+/// field rather than silently truncating it.
+void SavePageFile(const PageStore& file, std::ostream& out);
 
-/// Reads a PageFile previously written by SavePageFile.
+/// Reads a PageFile previously written by SavePageFile into memory. The
+/// page_count header field is untrusted: where the stream is seekable it is
+/// bounded against the actual remaining bytes before anything is allocated,
+/// and parsing is incremental either way — the first truncated entry throws
+/// without ever sizing a buffer to the hostile count. To serve the same
+/// bytes from disk without loading them, use DiskPageFile::Open instead.
 std::unique_ptr<PageFile> LoadPageFile(std::istream& in);
 
 }  // namespace flat

@@ -14,11 +14,11 @@ size_t RoundUpPowerOfTwo(size_t n) {
 
 }  // namespace
 
-StripedBufferPool::StripedBufferPool(const PageFile* file,
+StripedBufferPool::StripedBufferPool(const PageStore* store,
                                      size_t capacity_pages,
                                      size_t stripe_count)
-    : file_(file), capacity_pages_(capacity_pages) {
-  assert(file_ != nullptr);
+    : store_(store), capacity_pages_(capacity_pages) {
+  assert(store_ != nullptr);
   const size_t stripes = RoundUpPowerOfTwo(stripe_count == 0 ? 1 : stripe_count);
   stripe_mask_ = stripes - 1;
   per_stripe_capacity_ =
@@ -37,22 +37,67 @@ const char* StripedBufferPool::Read(PageId id, IoStats* stats) {
     std::lock_guard<std::mutex> lock(stripe.mu);
     if (stripe.table.Touch(id)) {
       ++stripe.hits;
-      // Page data lives in the immutable PageFile, so the pointer can be
+      // Page data lives in the immutable PageStore, so the pointer can be
       // returned outside the stripe lock.
     } else {
       ++stripe.misses;
-      const PageCategory category = file_->category(id);
+      const PageCategory category = store_->category(id);
       stripe.stats.RecordRead(category);
       if (stats != nullptr) stats->RecordRead(category);
       stripe.table.Insert(id);
+      if (!stripe.pending.empty()) {
+        auto it =
+            std::find(stripe.pending.begin(), stripe.pending.end(), id);
+        if (it != stripe.pending.end()) {
+          *it = stripe.pending.back();
+          stripe.pending.pop_back();
+          stripe.stats.RecordPrefetchHit();
+          if (stats != nullptr) stats->RecordPrefetchHit();
+        }
+      }
     }
   }
-  return file_->Data(id);
+  return store_->Data(id);
+}
+
+void StripedBufferPool::Prefetch(PageId id, IoStats* stats, int depth) {
+  if (depth <= 0) return;
+  Stripe& stripe = StripeFor(id);
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    if (stripe.table.Contains(id)) return;  // already paid for
+    if (stripe.pending.size() >= static_cast<size_t>(depth)) return;
+    if (std::find(stripe.pending.begin(), stripe.pending.end(), id) !=
+        stripe.pending.end()) {
+      return;
+    }
+    stripe.pending.push_back(id);
+    stripe.stats.RecordPrefetchIssued();
+    if (stats != nullptr) stats->RecordPrefetchIssued();
+  }
+  // The store-level hint (OS advice + background touch) runs outside the
+  // stripe lock: it can block briefly in the kernel.
+  store_->Prefetch(id);
+}
+
+const char* StripedBufferPool::Peek(PageId id) {
+  Stripe& stripe = StripeFor(id);
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    if (!stripe.table.Contains(id)) return nullptr;
+  }
+  return store_->Data(id);
 }
 
 void StripedBufferPool::Clear() {
   for (auto& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe->mu);
+    if (!stripe->pending.empty()) {
+      // No caller to charge at clear time; waste shows up in MergedStats
+      // only (see class comment).
+      stripe->stats.RecordPrefetchWasted(stripe->pending.size());
+      stripe->pending.clear();
+    }
     stripe->table.Clear();
   }
 }

@@ -9,24 +9,32 @@
 #include "storage/epoch_page_table.h"
 #include "storage/io_stats.h"
 #include "storage/page_cache.h"
-#include "storage/page_file.h"
+#include "storage/page_store.h"
 
 namespace flat {
 
-/// Concurrent LRU page cache in front of a PageFile.
+/// Concurrent LRU page cache in front of a PageStore.
 ///
 /// The cache is partitioned into stripes by page id; each stripe has its own
 /// lock, recency list, and hit/miss counters, so readers on disjoint stripes
-/// never contend. Page *data* lives in the immutable PageFile, so a returned
+/// never contend. Page *data* lives in the immutable PageStore, so a returned
 /// pointer is always consistent regardless of concurrent eviction — eviction
 /// only forgets that a page was cached.
 ///
 /// I/O accounting is per caller: `Read` charges the miss against the
 /// caller-supplied IoStats (typically thread- or query-local), while the
 /// stripe additionally records the miss in its own IoStats. Summing the
-/// caller-side stats therefore always equals `MergedStats()`, which is how
-/// the QueryEngine reports per-query breakdowns that add up to the batch
-/// aggregate.
+/// caller-side stats therefore always equals `MergedStats()` for the read
+/// counters, which is how the QueryEngine reports per-query breakdowns that
+/// add up to the batch aggregate. The one exception is the prefetch *wasted*
+/// counter: hints still pending at Clear() have no caller to charge, so
+/// waste appears only in MergedStats (issued and hit are recorded on both
+/// sides like reads).
+///
+/// Prefetching mirrors BufferPool: hints are forwarded to the PageStore and
+/// tracked per stripe in a pending set bounded by the hinting session's
+/// depth; they never insert into the cache table, so read accounting is
+/// independent of prefetching.
 class StripedBufferPool {
  public:
   /// `capacity_pages` is divided (rounding up, minimum 1) into equal
@@ -34,7 +42,7 @@ class StripedBufferPool {
   /// stripe_count pages and a stripe-hot workload may evict before the
   /// global figure is reached (0 means unbounded). `stripe_count` is
   /// rounded up to a power of two.
-  explicit StripedBufferPool(const PageFile* file, size_t capacity_pages = 0,
+  explicit StripedBufferPool(const PageStore* store, size_t capacity_pages = 0,
                              size_t stripe_count = 16);
 
   StripedBufferPool(const StripedBufferPool&) = delete;
@@ -44,7 +52,18 @@ class StripedBufferPool {
   /// stripe's aggregate). Safe to call from any number of threads.
   const char* Read(PageId id, IoStats* stats);
 
+  /// Hints that `id` will be read soon; `depth` bounds the owning stripe's
+  /// pending set (<= 0 is a no-op). Charges a prefetch-issued to `stats`
+  /// and the stripe when the hint is accepted. Safe from any thread.
+  void Prefetch(PageId id, IoStats* stats, int depth);
+
+  /// Cached-page data without charging or recency update; nullptr on miss.
+  /// Safe from any thread.
+  const char* Peek(PageId id);
+
   /// Drops every cached page (cold cache). Not safe concurrently with Read.
+  /// Outstanding prefetch hints are counted as wasted in the stripe stats
+  /// (see class comment).
   void Clear();
 
   /// True if the page is currently cached (test hook).
@@ -60,21 +79,37 @@ class StripedBufferPool {
   /// Sum of the per-stripe IoStats: every miss any session ever charged.
   IoStats MergedStats() const;
 
-  const PageFile& file() const { return *file_; }
+  const PageStore& store() const { return *store_; }
 
   /// A single-threaded view over the shared pool that charges misses to one
   /// IoStats — hand one Session per worker (or per query) to code written
-  /// against the PageCache interface.
+  /// against the PageCache interface. `prefetch_depth` is the session's
+  /// hint budget (0 = prefetching off).
   class Session final : public PageCache {
    public:
-    Session(StripedBufferPool* pool, IoStats* stats)
-        : pool_(pool), stats_(stats) {}
+    Session(StripedBufferPool* pool, IoStats* stats, int prefetch_depth = 0)
+        : pool_(pool), stats_(stats),
+          prefetch_depth_(prefetch_depth > 0 ? prefetch_depth : 0) {}
 
     const char* Read(PageId id) override { return pool_->Read(id, stats_); }
+
+    void Prefetch(PageId id) override {
+      if (prefetch_depth_ > 0) pool_->Prefetch(id, stats_, prefetch_depth_);
+    }
+
+    const char* Peek(PageId id) override { return pool_->Peek(id); }
+
+    bool prefetch_enabled() const override { return prefetch_depth_ > 0; }
+
+    void set_prefetch_depth(int depth) {
+      prefetch_depth_ = depth > 0 ? depth : 0;
+    }
+    int prefetch_depth() const { return prefetch_depth_; }
 
    private:
     StripedBufferPool* pool_;
     IoStats* stats_;
+    int prefetch_depth_;
   };
 
  private:
@@ -91,6 +126,9 @@ class StripedBufferPool {
     uint64_t hits = 0;
     uint64_t misses = 0;
     IoStats stats;
+    // Outstanding prefetch hints for pages in this stripe; bounded by the
+    // hinting session's depth.
+    std::vector<PageId> pending;
   };
   static_assert(alignof(Stripe) >= 64,
                 "stripes must not share a cache line");
@@ -101,7 +139,7 @@ class StripedBufferPool {
     return *stripes_[(h >> 16) & stripe_mask_];
   }
 
-  const PageFile* file_;
+  const PageStore* store_;
   size_t capacity_pages_;
   size_t per_stripe_capacity_;
   size_t stripe_mask_;

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
+#include <streambuf>
+#include <string>
 
 #include "core/flat_index.h"
 #include "rtree/bulkload.h"
@@ -11,6 +14,51 @@
 
 namespace flat {
 namespace {
+
+// Hand-crafts a FLATPGF1 byte stream: magic | u32 page_size | u32 page_count
+// | body (caller supplies category table + page data, possibly malformed).
+std::string RawPageFileBytes(uint32_t page_size, uint32_t page_count,
+                             const std::string& body) {
+  std::string bytes = "FLATPGF1";
+  const auto put_u32 = [&bytes](uint32_t value) {
+    char buf[sizeof(value)];
+    std::memcpy(buf, &value, sizeof(value));
+    bytes.append(buf, sizeof(value));
+  };
+  put_u32(page_size);
+  put_u32(page_count);
+  bytes += body;
+  return bytes;
+}
+
+// A read-only stream with no seek support (tellg reports -1), like a pipe or
+// socket: LoadPageFile cannot learn the stream size up front and must survive
+// a hostile header through incremental parsing alone.
+class UnseekableBuf : public std::streambuf {
+ public:
+  explicit UnseekableBuf(std::string bytes) : bytes_(std::move(bytes)) {
+    setg(bytes_.data(), bytes_.data(), bytes_.data() + bytes_.size());
+  }
+
+ private:
+  std::string bytes_;
+};
+
+std::string ThrownMessage(const std::string& bytes, bool seekable) {
+  try {
+    if (seekable) {
+      std::stringstream in(bytes);
+      LoadPageFile(in);
+    } else {
+      UnseekableBuf buf(bytes);
+      std::istream in(&buf);
+      LoadPageFile(in);
+    }
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";
+}
 
 TEST(PersistenceTest, EmptyPageFileRoundTrip) {
   PageFile file(2048);
@@ -50,6 +98,99 @@ TEST(PersistenceTest, RejectsGarbageAndTruncation) {
   std::string bytes = stream.str();
   std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
   EXPECT_THROW(LoadPageFile(truncated), std::runtime_error);
+}
+
+// A header claiming 2^30 pages over a near-empty seekable stream must be
+// rejected by the size bound before any per-page allocation happens.
+TEST(PersistenceTest, HostilePageCountFailsAgainstStreamSize) {
+  const std::string bytes =
+      RawPageFileBytes(/*page_size=*/512, /*page_count=*/1u << 30, "abc");
+  EXPECT_EQ(ThrownMessage(bytes, /*seekable=*/true),
+            "LoadPageFile: header page count exceeds stream size");
+}
+
+// On an unseekable stream the size bound is unavailable; the incremental
+// category parse must still fail on the first missing byte instead of
+// resizing to the hostile count up front.
+TEST(PersistenceTest, HostilePageCountFailsIncrementallyWhenUnseekable) {
+  const std::string bytes =
+      RawPageFileBytes(/*page_size=*/512, /*page_count=*/1u << 30,
+                       std::string(1024, '\0'));
+  EXPECT_EQ(ThrownMessage(bytes, /*seekable=*/false),
+            "LoadPageFile: truncated category table");
+}
+
+TEST(PersistenceTest, TruncatedCategoryTableIsRejected) {
+  // 4 pages declared, only 2 category bytes present.
+  const std::string bytes =
+      RawPageFileBytes(/*page_size=*/512, /*page_count=*/4, std::string(2, 0));
+  EXPECT_EQ(ThrownMessage(bytes, /*seekable=*/false),
+            "LoadPageFile: truncated category table");
+  // The seekable path rejects the same stream via the up-front bound.
+  EXPECT_EQ(ThrownMessage(bytes, /*seekable=*/true),
+            "LoadPageFile: header page count exceeds stream size");
+}
+
+TEST(PersistenceTest, TruncatedPageDataIsRejected) {
+  // One page declared, category present, but only half the page's bytes.
+  std::string body(1, '\0');  // category kRTreeInternal
+  body += std::string(256, 'x');
+  const std::string bytes =
+      RawPageFileBytes(/*page_size=*/512, /*page_count=*/1, body);
+  EXPECT_EQ(ThrownMessage(bytes, /*seekable=*/false),
+            "LoadPageFile: truncated page data");
+}
+
+TEST(PersistenceTest, InvalidCategoryByteIsRejected) {
+  std::string body(1, static_cast<char>(0xEE));  // out-of-range category
+  body += std::string(512, '\0');
+  const std::string bytes =
+      RawPageFileBytes(/*page_size=*/512, /*page_count=*/1, body);
+  EXPECT_EQ(ThrownMessage(bytes, /*seekable=*/true),
+            "LoadPageFile: invalid page category");
+}
+
+TEST(PersistenceTest, ImplausiblePageSizeIsRejected) {
+  EXPECT_EQ(ThrownMessage(RawPageFileBytes(/*page_size=*/32,
+                                           /*page_count=*/0, ""),
+                          /*seekable=*/true),
+            "LoadPageFile: implausible page size");
+  EXPECT_EQ(ThrownMessage(RawPageFileBytes(/*page_size=*/65u << 20,
+                                           /*page_count=*/0, ""),
+                          /*seekable=*/true),
+            "LoadPageFile: implausible page size");
+}
+
+// A zero-page stream is a valid (empty) file on both stream flavors.
+TEST(PersistenceTest, ZeroPageStreamLoads) {
+  const std::string bytes =
+      RawPageFileBytes(/*page_size=*/4096, /*page_count=*/0, "");
+  {
+    std::stringstream in(bytes);
+    auto loaded = LoadPageFile(in);
+    EXPECT_EQ(loaded->page_count(), 0u);
+    EXPECT_EQ(loaded->page_size(), 4096u);
+  }
+  {
+    UnseekableBuf buf(bytes);
+    std::istream in(&buf);
+    auto loaded = LoadPageFile(in);
+    EXPECT_EQ(loaded->page_count(), 0u);
+  }
+}
+
+// The loader tolerates trailing bytes after the declared pages (a container
+// may append its own footer); the declared prefix must parse as usual.
+TEST(PersistenceTest, TrailingBytesAreIgnored) {
+  PageFile file(128);
+  const PageId id = file.Allocate(PageCategory::kObject);
+  std::memcpy(file.MutableData(id), "tail-safe", 9);
+  std::stringstream stream;
+  SavePageFile(file, stream);
+  stream << "FOOTERFOOTER";
+  auto loaded = LoadPageFile(stream);
+  ASSERT_EQ(loaded->page_count(), 1u);
+  EXPECT_EQ(std::memcmp(loaded->Data(id), "tail-safe", 9), 0);
 }
 
 TEST(PersistenceTest, FlatIndexSurvivesSaveLoadAttach) {

@@ -234,8 +234,8 @@ TEST(ShardedStoreTest, ShardPageFilesAreByteIdenticalAcrossThreadCounts) {
   ASSERT_EQ(serial.shard_count(), parallel.shard_count());
   for (size_t s = 0; s < serial.shard_count(); ++s) {
     SCOPED_TRACE("shard " + std::to_string(s));
-    const PageFile& a = serial.shard_file(s);
-    const PageFile& b = parallel.shard_file(s);
+    const PageStore& a = serial.shard_file(s);
+    const PageStore& b = parallel.shard_file(s);
     ASSERT_EQ(a.page_count(), b.page_count());
     for (PageId id = 0; id < a.page_count(); ++id) {
       ASSERT_EQ(a.category(id), b.category(id));

@@ -267,5 +267,35 @@ TEST(DiskModelTest, CpuFractionInflatesElapsed) {
               2.0 * model.PageReadMs(4096), 1e-9);
 }
 
+// cpu_fraction == 1.0 would divide by zero in ElapsedMs; the constructor
+// must reject it (and the rest of the nonsensical parameter space) up front
+// rather than return inf/NaN timings at query time.
+TEST(DiskModelTest, RejectsInvalidParams) {
+  DiskModel::Params params;
+  params.cpu_fraction = 1.0;
+  EXPECT_THROW(DiskModel{params}, std::invalid_argument);
+
+  params = DiskModel::Params();
+  params.cpu_fraction = 1.5;
+  EXPECT_THROW(DiskModel{params}, std::invalid_argument);
+
+  params = DiskModel::Params();
+  params.cpu_fraction = -0.25;
+  EXPECT_THROW(DiskModel{params}, std::invalid_argument);
+
+  params = DiskModel::Params();
+  params.transfer_mb_per_s = 0.0;
+  EXPECT_THROW(DiskModel{params}, std::invalid_argument);
+
+  params = DiskModel::Params();
+  params.seek_ms = -1.0;
+  EXPECT_THROW(DiskModel{params}, std::invalid_argument);
+
+  // The boundary below the divide-by-zero pole is fine.
+  params = DiskModel::Params();
+  params.cpu_fraction = 0.999;
+  EXPECT_NO_THROW(DiskModel{params});
+}
+
 }  // namespace
 }  // namespace flat
