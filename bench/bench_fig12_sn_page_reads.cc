@@ -1,11 +1,167 @@
 // Figure 12: total page reads for the SN benchmark (200 range queries of fixed
 // volume, random location and aspect ratio, cold cache per query).
 // Paper claim: the best R-Tree (PR) reads 2x..8x more pages than FLAT, growing with density.
+//
+// --json switches to the compressed-vs-exact contender pair (the
+// BENCH_compressed.json baseline): at each density point the same data set is
+// built once with exact interior seed pages and once with the quantized
+// format (FlatIndex::BuildOptions::compressed_seed_pages), and the SN
+// workload runs against both, cold cache per query.
+//
+// Self-validating gates (non-zero exit on violation):
+//   * every query returns the same result SET on both builds (ids compared
+//     sorted — the builds may legitimately pick different seed records, so
+//     crawl emission ORDER can differ while the set cannot);
+//   * the compressed build's total page reads never exceed the exact
+//     build's at any point;
+//   * at the densest point the seed-internal read reduction reaches >= 2x
+//     (the categories compressed pages can shrink; object and seed-leaf
+//     pages are byte-identical between the builds).
+#include <algorithm>
+#include <vector>
+
 #include "bench/bench_common.h"
+#include "data/query_generator.h"
+#include "storage/buffer_pool.h"
+
+namespace {
+
+using namespace flat;
+
+struct PairRun {
+  uint64_t total_reads = 0;
+  uint64_t seed_internal_reads = 0;
+  uint64_t seed_leaf_reads = 0;
+  uint64_t object_reads = 0;
+  uint64_t result_elements = 0;
+  uint64_t total_pages = 0;
+  uint64_t seed_internal_pages = 0;
+  int seed_height = 0;
+  /// Sorted ids per query, for the set-identity gate.
+  std::vector<std::vector<uint64_t>> sorted_ids;
+};
+
+PairRun RunPair(IndexKind kind, const Dataset& dataset,
+                const std::vector<Aabb>& queries) {
+  Contender contender = BuildContender(kind, dataset.elements);
+  PairRun run;
+  run.total_pages = contender.total_pages();
+  run.seed_internal_pages = contender.flat.build_stats().seed_internal_pages;
+  run.seed_height = contender.flat.build_stats().seed_height;
+
+  IoStats io;
+  BufferPool pool(contender.file.get(), &io);
+  run.sorted_ids.resize(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    pool.Clear();  // cold cache before each query, as in the paper
+    contender.RangeQuery(&pool, queries[i], &run.sorted_ids[i]);
+    std::sort(run.sorted_ids[i].begin(), run.sorted_ids[i].end());
+    run.result_elements += run.sorted_ids[i].size();
+  }
+  run.total_reads = io.TotalReads();
+  run.seed_internal_reads = io.ReadsIn(PageCategory::kSeedInternal);
+  run.seed_leaf_reads = io.ReadsIn(PageCategory::kSeedLeaf);
+  run.object_reads = io.ReadsIn(PageCategory::kObject);
+  return run;
+}
+
+int RunCompressedComparison(const BenchFlags& flags) {
+  const size_t points[] = {flags.Scaled(100000), flags.Scaled(200000),
+                           flags.Scaled(400000)};
+  std::cerr << "# compressed-vs-exact SN page reads, " << flags.queries()
+            << " queries per point, cold cache per query\n";
+
+  bool identical = true;
+  bool reads_bounded = true;
+  double max_internal_reduction = 0.0;
+  std::cout << "{\n"
+            << "  \"bench\": \"fig12_sn_page_reads\",\n"
+            << "  \"workload\": \"sn_range_compressed_vs_exact\",\n"
+            << "  \"queries\": " << flags.queries() << ",\n"
+            << "  \"points\": [\n";
+  for (size_t p = 0; p < 3; ++p) {
+    Dataset dataset = NeuronDatasetAt(points[p], flags.seed());
+    RangeWorkloadParams workload;
+    workload.count = flags.queries();
+    workload.volume_fraction = kSnVolumeFraction;
+    workload.seed = flags.seed() + 1;
+    const std::vector<Aabb> queries =
+        GenerateRangeWorkload(dataset.bounds, workload);
+
+    const PairRun exact = RunPair(IndexKind::kFlat, dataset, queries);
+    const PairRun compressed =
+        RunPair(IndexKind::kFlatCompressed, dataset, queries);
+
+    const bool point_identical = exact.sorted_ids == compressed.sorted_ids;
+    identical = identical && point_identical;
+    reads_bounded =
+        reads_bounded && compressed.total_reads <= exact.total_reads;
+    const double internal_reduction =
+        compressed.seed_internal_reads > 0
+            ? static_cast<double>(exact.seed_internal_reads) /
+                  compressed.seed_internal_reads
+            : 0.0;
+    max_internal_reduction =
+        std::max(max_internal_reduction, internal_reduction);
+
+    std::cout << "    {\"elements\": " << dataset.elements.size()
+              << ", \"results\": " << exact.result_elements << ",\n"
+              << "     \"exact\": {\"total_reads\": " << exact.total_reads
+              << ", \"seed_internal_reads\": " << exact.seed_internal_reads
+              << ", \"seed_leaf_reads\": " << exact.seed_leaf_reads
+              << ", \"object_reads\": " << exact.object_reads
+              << ", \"seed_internal_pages\": " << exact.seed_internal_pages
+              << ", \"seed_height\": " << exact.seed_height
+              << ", \"total_pages\": " << exact.total_pages << "},\n"
+              << "     \"compressed\": {\"total_reads\": "
+              << compressed.total_reads
+              << ", \"seed_internal_reads\": "
+              << compressed.seed_internal_reads
+              << ", \"seed_leaf_reads\": " << compressed.seed_leaf_reads
+              << ", \"object_reads\": " << compressed.object_reads
+              << ", \"seed_internal_pages\": "
+              << compressed.seed_internal_pages
+              << ", \"seed_height\": " << compressed.seed_height
+              << ", \"total_pages\": " << compressed.total_pages << "},\n"
+              << "     \"seed_internal_reduction\": " << internal_reduction
+              << ", \"identical_results\": "
+              << (point_identical ? "true" : "false") << "}"
+              << (p + 1 < 3 ? "," : "") << "\n";
+  }
+  std::cout << "  ],\n"
+            << "  \"identical_results\": " << (identical ? "true" : "false")
+            << ",\n"
+            << "  \"compressed_reads_bounded\": "
+            << (reads_bounded ? "true" : "false") << ",\n"
+            << "  \"max_seed_internal_reduction\": " << max_internal_reduction
+            << "\n"
+            << "}\n";
+
+  if (!identical) {
+    std::cerr << "ERROR: compressed build returned different result sets "
+                 "than the exact build\n";
+    return 1;
+  }
+  if (!reads_bounded) {
+    std::cerr << "ERROR: compressed build read more pages than the exact "
+                 "build\n";
+    return 1;
+  }
+  if (max_internal_reduction < 2.0) {
+    std::cerr << "ERROR: seed-internal read reduction "
+              << max_internal_reduction << "x never reached the 2x gate\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace flat;
   BenchFlags flags(argc, argv);
+  if (flags.GetInt("json", 0) != 0) return RunCompressedComparison(flags);
+
   SweepOptions options;
   options.volume_fraction = kSnVolumeFraction;
   options.kinds = bench::kLineup;

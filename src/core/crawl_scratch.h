@@ -86,6 +86,12 @@ class CrawlScratch {
   /// whole fanout with the vector kernels (see geometry/box_kernels.h).
   SoaBoxes& Soa() { return soa_; }
 
+  /// Quantized-lane counterpart for compressed internal pages: the seed
+  /// descent transposes a node's u16 slots into these lanes and sweeps them
+  /// with the integer kernels (IntersectsQuantizedSoa). Kept separate from
+  /// Soa() so a descent over mixed-format levels never thrashes one buffer.
+  QuantizedSoa& QuantizedLanes() { return quantized_; }
+
  private:
   struct Slot {
     uint64_t key = 0;
@@ -136,6 +142,7 @@ class CrawlScratch {
   size_t queued_ = 0;
   std::vector<uint8_t> hits_;
   SoaBoxes soa_;
+  QuantizedSoa quantized_;
 };
 
 }  // namespace flat

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstddef>
+#include <cstring>
 #include <optional>
 #include <stdexcept>
 
@@ -25,6 +27,57 @@ Aabb BoundsOf(const std::vector<RTreeEntry>& entries) {
   for (const RTreeEntry& e : entries) bounds.ExpandToInclude(e.box);
   return bounds;
 }
+
+/// One internal seed node, gated against `gate` whichever format the page
+/// carries (the header's format byte dispatches). Exact pages run the
+/// batched double-precision sweep; compressed pages quantize the query once
+/// into the node's grid and sweep the u16 slots through the scratch's
+/// quantized SoA lanes. Quantized hits are a superset of the exact hits
+/// (outward rounding, geometry/box_kernels.h): a spurious child costs one
+/// extra descent and is resolved by the exact gates at the seed-leaf /
+/// object level; a miss is impossible, so results never change.
+class InternalNodeGate {
+ public:
+  InternalNodeGate(const char* data, const Aabb& gate, CrawlScratch* scratch)
+      : data_(data), node_(data) {
+    const uint16_t n = node_.count();
+    uint8_t* hits;
+    if (node_.format() == NodeFormat::kQuantized) {
+      const CompressedNodeView cnode(data);
+      QuantizedSoa& soa = scratch->QuantizedLanes();
+      soa.Assign(cnode.slots(), sizeof(QuantizedSlot), n);
+      hits = scratch->Hits(soa.padded_count());
+      IntersectsQuantizedSoa(soa, QuantizeQuery(cnode.node_box(), gate),
+                             hits);
+    } else {
+      hits = scratch->Hits(n);
+      IntersectsBatch(data + kNodeHeaderSize, sizeof(RTreeEntry), n, gate,
+                      hits);
+    }
+    hits_ = hits;
+  }
+
+  uint16_t count() const { return node_.count(); }
+  uint8_t level() const { return node_.level(); }
+  bool Hit(uint16_t i) const { return hits_[i] != 0; }
+
+  PageId ChildAt(uint16_t i) const {
+    if (node_.format() == NodeFormat::kQuantized) {
+      uint32_t child;
+      std::memcpy(&child,
+                  data_ + kQuantizedSlotsOffset + i * sizeof(QuantizedSlot) +
+                      offsetof(QuantizedSlot, child),
+                  sizeof(child));
+      return child;
+    }
+    return static_cast<PageId>(node_.IdAt(i));
+  }
+
+ private:
+  const char* data_;
+  NodeView node_;
+  const uint8_t* hits_;
+};
 
 }  // namespace
 
@@ -184,16 +237,22 @@ FlatIndex FlatIndex::Build(PageFile* file, std::vector<RTreeEntry> elements,
   });
   stats.seed_leaf_pages = leaf_members.size();
 
-  // Internal levels of the seed tree.
+  // Internal levels of the seed tree, exact or compressed per the build
+  // options (the two layouts differ only in these kSeedInternal pages —
+  // object pages and seed leaves above are byte-identical either way).
   if (leaf_entries.size() == 1) {
     index.seed_root_ = leaf_ids.front();
     index.root_is_leaf_ = true;
     index.seed_height_ = 1;
   } else {
     const size_t pages_before = file->page_count();
+    const NodeFormat seed_format = options.compressed_seed_pages
+                                       ? NodeFormat::kQuantized
+                                       : NodeFormat::kExact;
     RTree upper = BuildUpperLevels(file, leaf_entries, /*level=*/1,
                                    LevelOrder::kStr,
-                                   PageCategory::kSeedInternal, pool);
+                                   PageCategory::kSeedInternal, pool,
+                                   seed_format);
     index.seed_root_ = upper.root();
     index.root_is_leaf_ = false;
     index.seed_height_ = upper.height();
@@ -236,7 +295,10 @@ std::optional<RecordRef> FlatIndex::SeedWhere(PageCache* pool,
     PageId page;
     bool is_leaf;
   };
-  std::vector<uint8_t> local_hits;  // fallback when the caller has no scratch
+  // The batched node gates need the scratch's hit/lane buffers; materialize
+  // a throwaway when the caller brought none (results and I/O identical).
+  std::optional<CrawlScratch> throwaway;
+  CrawlScratch* s = scratch != nullptr ? scratch : &throwaway.emplace();
   std::vector<Frame> stack = {{seed_root_, root_is_leaf_}};
   while (!stack.empty()) {
     const Frame frame = stack.back();
@@ -252,27 +314,15 @@ std::optional<RecordRef> FlatIndex::SeedWhere(PageCache* pool,
       }
       continue;
     }
-    // Gate the whole fanout in one batched sweep (same push order as the
-    // former per-entry loop, so the descent — and thus the returned seed —
-    // is unchanged).
-    const char* data = pool->Read(frame.page);
-    NodeView node(data);
-    const bool children_are_leaves = node.level() == 1;
-    const uint16_t n = node.count();
-    uint8_t* hits;
-    if (scratch != nullptr) {
-      hits = scratch->Hits(n);
-    } else {
-      if (local_hits.size() < n) local_hits.resize(n);
-      hits = local_hits.data();
-    }
-    IntersectsBatch(data + kNodeHeaderSize, sizeof(RTreeEntry), n, gate,
-                    hits);
-    for (int i = n - 1; i >= 0; --i) {
-      if (hits[i]) {
-        stack.push_back(Frame{
-            static_cast<PageId>(node.IdAt(static_cast<uint16_t>(i))),
-            children_are_leaves});
+    // Gate the whole fanout in one batched, format-dispatching sweep (same
+    // push order as the former per-entry loop, so the descent — and thus
+    // the returned seed — is unchanged on exact pages).
+    const InternalNodeGate gated(pool->Read(frame.page), gate, s);
+    const bool children_are_leaves = gated.level() == 1;
+    for (int i = gated.count() - 1; i >= 0; --i) {
+      if (gated.Hit(static_cast<uint16_t>(i))) {
+        stack.push_back(Frame{gated.ChildAt(static_cast<uint16_t>(i)),
+                              children_are_leaves});
       }
     }
   }
@@ -545,6 +595,7 @@ void FlatIndex::RangeQueryViaSeedScan(PageCache* pool, const Aabb& query,
     bool is_leaf;
   };
   std::vector<uint8_t> hits;  // reused across object pages
+  CrawlScratch scratch;       // buffers for the internal-node gates
   std::vector<Frame> stack = {{seed_root_, root_is_leaf_}};
   while (!stack.empty()) {
     const Frame frame = stack.back();
@@ -576,17 +627,11 @@ void FlatIndex::RangeQueryViaSeedScan(PageCache* pool, const Aabb& query,
       }
       continue;
     }
-    const char* data = pool->Read(frame.page);
-    NodeView node(data);
-    const bool children_are_leaves = node.level() == 1;
-    const uint16_t n = node.count();
-    if (hits.size() < n) hits.resize(n);
-    IntersectsBatch(data + kNodeHeaderSize, sizeof(RTreeEntry), n, query,
-                    hits.data());
-    for (uint16_t i = 0; i < n; ++i) {
-      if (hits[i]) {
-        stack.push_back(
-            Frame{static_cast<PageId>(node.IdAt(i)), children_are_leaves});
+    const InternalNodeGate gated(pool->Read(frame.page), query, &scratch);
+    const bool children_are_leaves = gated.level() == 1;
+    for (uint16_t i = 0; i < gated.count(); ++i) {
+      if (gated.Hit(i)) {
+        stack.push_back(Frame{gated.ChildAt(i), children_are_leaves});
       }
     }
   }
@@ -601,7 +646,7 @@ std::vector<RecordRef> FlatIndex::FindAllCandidateRecords(
     PageId page;
     bool is_leaf;
   };
-  std::vector<uint8_t> hits;
+  CrawlScratch scratch;  // buffers for the internal-node gates
   std::vector<Frame> stack = {{seed_root_, root_is_leaf_}};
   while (!stack.empty()) {
     const Frame frame = stack.back();
@@ -615,17 +660,11 @@ std::vector<RecordRef> FlatIndex::FindAllCandidateRecords(
       }
       continue;
     }
-    const char* data = file_->Data(frame.page);
-    NodeView node(data);
-    const bool children_are_leaves = node.level() == 1;
-    const uint16_t n = node.count();
-    if (hits.size() < n) hits.resize(n);
-    IntersectsBatch(data + kNodeHeaderSize, sizeof(RTreeEntry), n, query,
-                    hits.data());
-    for (uint16_t i = 0; i < n; ++i) {
-      if (hits[i]) {
-        stack.push_back(
-            Frame{static_cast<PageId>(node.IdAt(i)), children_are_leaves});
+    const InternalNodeGate gated(file_->Data(frame.page), query, &scratch);
+    const bool children_are_leaves = gated.level() == 1;
+    for (uint16_t i = 0; i < gated.count(); ++i) {
+      if (gated.Hit(i)) {
+        stack.push_back(Frame{gated.ChildAt(i), children_are_leaves});
       }
     }
   }

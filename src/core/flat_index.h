@@ -78,6 +78,17 @@ class FlatIndex {
     /// total order and all page writes happen at deterministic PageIds
     /// (verified by tests/parallel_build_test.cc).
     size_t num_threads = 1;
+
+    /// Build the seed tree's internal pages in the compressed format
+    /// (rtree/node.h): child MBRs quantized to 16-bit fixed point relative
+    /// to the node's exact box, ~3.45x the fanout of exact pages, so the
+    /// seed descent reads fewer and shallower internal pages. Query results
+    /// are bit-identical to an exact build — quantization rounds outward,
+    /// spurious descents are resolved by the exact record and element gates
+    /// (tests/compressed_index_test.cc). Off by default: exact pages,
+    /// byte-identical to builds that predate the option. Object pages and
+    /// seed leaves are unaffected either way.
+    bool compressed_seed_pages = false;
   };
 
   /// An unbuilt index: empty() is true, queries have no PageFile to read

@@ -340,4 +340,182 @@ void SphereGateSoa(const SoaBoxes& soa, const Vec3& center, double radius,
 #endif
 }
 
+namespace {
+
+// Raw (unwidened) cell of `x` on one grid axis: floor((x - origin) * inv)
+// clamped to [0, kQuantMaxCell]. The !(t > 0) form sends NaN (degenerate
+// 0 * inf products) and negatives to cell 0. Weakly monotone in x: sub and
+// mul are correctly rounded and inv >= 0, so the FP result is monotone, and
+// clamp + floor preserve that — the property the conservativeness argument
+// in box_kernels.h rests on.
+inline int RawCell(double origin, double inv, double x) {
+  const double t = (x - origin) * inv;
+  if (!(t > 0.0)) return 0;
+  if (t >= static_cast<double>(kQuantMaxCell)) {
+    return static_cast<int>(kQuantMaxCell);
+  }
+  return static_cast<int>(t);
+}
+
+}  // namespace
+
+QuantGrid MakeQuantGrid(const Aabb& node_box) {
+  QuantGrid grid;
+  grid.never = node_box.IsEmpty();
+  for (int axis = 0; axis < 3; ++axis) {
+    grid.origin[axis] = node_box.lo()[axis];
+    const double extent = node_box.hi()[axis] - node_box.lo()[axis];
+    // Degenerate (zero-width) axes and non-finite extents quantize every
+    // coordinate into cell 0 via inv = 0; with the one-cell widening below,
+    // every range on such an axis becomes [0, 1] and always overlaps —
+    // conservative, never wrong. Denormal extents may overflow inv to +inf,
+    // which RawCell's clamp handles (cell 0 at the origin, top cell above).
+    grid.inv[axis] =
+        extent > 0.0 ? static_cast<double>(kQuantMaxCell) / extent : 0.0;
+  }
+  return grid;
+}
+
+uint16_t QuantizeDown(const QuantGrid& grid, int axis, double x) {
+  const int cell = RawCell(grid.origin[axis], grid.inv[axis], x) - 1;
+  return static_cast<uint16_t>(cell < 0 ? 0 : cell);
+}
+
+uint16_t QuantizeUp(const QuantGrid& grid, int axis, double x) {
+  const int cell = RawCell(grid.origin[axis], grid.inv[axis], x) + 1;
+  return static_cast<uint16_t>(
+      cell > static_cast<int>(kQuantMaxCell) ? kQuantMaxCell : cell);
+}
+
+QuantizedQueryBox QuantizeQuery(const Aabb& node_box, const Aabb& query) {
+  QuantizedQueryBox q;
+  const QuantGrid grid = MakeQuantGrid(node_box);
+  q.never = grid.never || query.IsEmpty();
+  if (q.never) return q;  // lo/hi stay 0: deterministic, unused
+  for (int axis = 0; axis < 3; ++axis) {
+    q.lo[axis] = QuantizeDown(grid, axis, query.lo()[axis]);
+    q.hi[axis] = QuantizeUp(grid, axis, query.hi()[axis]);
+  }
+  return q;
+}
+
+void QuantizedSoa::Assign(const char* slots, size_t stride, size_t count) {
+  count_ = count;
+  padded_ = (count + 15) & ~size_t{15};
+  lanes_.resize(6 * padded_);
+  uint16_t* lanes[6];
+  for (int lane = 0; lane < 6; ++lane) {
+    lanes[lane] = lanes_.data() + lane * padded_;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    uint16_t v[6];  // lo.x lo.y lo.z hi.x hi.y hi.z
+    std::memcpy(v, slots + i * stride, sizeof(v));
+    for (int lane = 0; lane < 6; ++lane) lanes[lane][i] = v[lane];
+  }
+  for (size_t i = count; i < padded_; ++i) {
+    // Inverted sentinel ranges; the kernels zero the padding bytes anyway,
+    // this just keeps the lanes deterministic.
+    lanes[0][i] = lanes[1][i] = lanes[2][i] = 0xFFFF;
+    lanes[3][i] = lanes[4][i] = lanes[5][i] = 0;
+  }
+}
+
+void IntersectsQuantizedSoaScalar(const QuantizedSoa& soa,
+                                  const QuantizedQueryBox& query,
+                                  uint8_t* hits) {
+  const size_t padded = soa.padded_count();
+  if (padded == 0) return;  // empty node: no hit bytes to write (hits may
+                            // be null — memset requires a valid pointer)
+  if (query.never) {
+    std::memset(hits, 0, padded);
+    return;
+  }
+  const uint16_t* lox = soa.lo(0);
+  const uint16_t* loy = soa.lo(1);
+  const uint16_t* loz = soa.lo(2);
+  const uint16_t* hix = soa.hi(0);
+  const uint16_t* hiy = soa.hi(1);
+  const uint16_t* hiz = soa.hi(2);
+  for (size_t i = 0; i < soa.count(); ++i) {
+    const int hit = (lox[i] <= query.hi[0]) & (hix[i] >= query.lo[0]) &
+                    (loy[i] <= query.hi[1]) & (hiy[i] >= query.lo[1]) &
+                    (loz[i] <= query.hi[2]) & (hiz[i] >= query.lo[2]);
+    hits[i] = static_cast<uint8_t>(hit);
+  }
+  std::memset(hits + soa.count(), 0, padded - soa.count());
+}
+
+void IntersectsQuantizedSoa(const QuantizedSoa& soa,
+                            const QuantizedQueryBox& query, uint8_t* hits) {
+#if defined(__AVX2__) || defined(__SSE2__) || defined(_M_X64)
+  const size_t padded = soa.padded_count();
+  if (padded == 0) return;  // see the scalar variant
+  if (query.never) {
+    std::memset(hits, 0, padded);
+    return;
+  }
+#endif
+#if defined(__AVX2__)
+  // SSE/AVX have no unsigned 16-bit compare; XOR with 0x8000 maps the
+  // unsigned order onto the signed one, then a child fails iff
+  // lo > q.hi or q.lo > hi on any axis.
+  const __m256i bias = _mm256_set1_epi16(static_cast<int16_t>(0x8000));
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i qhi[3], qlo[3];
+  for (int a = 0; a < 3; ++a) {
+    qhi[a] = _mm256_set1_epi16(static_cast<int16_t>(query.hi[a] ^ 0x8000));
+    qlo[a] = _mm256_set1_epi16(static_cast<int16_t>(query.lo[a] ^ 0x8000));
+  }
+  for (size_t i = 0; i < padded; i += 16) {
+    __m256i fail = zero;
+    for (int a = 0; a < 3; ++a) {
+      const __m256i lo = _mm256_xor_si256(
+          _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(soa.lo(a) + i)),
+          bias);
+      const __m256i hi = _mm256_xor_si256(
+          _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(soa.hi(a) + i)),
+          bias);
+      fail = _mm256_or_si256(fail, _mm256_cmpgt_epi16(lo, qhi[a]));
+      fail = _mm256_or_si256(fail, _mm256_cmpgt_epi16(qlo[a], hi));
+    }
+    // Two movemask bits per u16 lane; bit 2k is lane k's low byte.
+    const int mask = _mm256_movemask_epi8(_mm256_cmpeq_epi16(fail, zero));
+    for (int k = 0; k < 16; ++k) {
+      hits[i + k] = static_cast<uint8_t>((mask >> (2 * k)) & 1);
+    }
+  }
+  std::memset(hits + soa.count(), 0, padded - soa.count());
+#elif defined(__SSE2__) || defined(_M_X64)
+  const __m128i bias = _mm_set1_epi16(static_cast<int16_t>(0x8000));
+  const __m128i zero = _mm_setzero_si128();
+  __m128i qhi[3], qlo[3];
+  for (int a = 0; a < 3; ++a) {
+    qhi[a] = _mm_set1_epi16(static_cast<int16_t>(query.hi[a] ^ 0x8000));
+    qlo[a] = _mm_set1_epi16(static_cast<int16_t>(query.lo[a] ^ 0x8000));
+  }
+  for (size_t i = 0; i < padded; i += 8) {
+    __m128i fail = zero;
+    for (int a = 0; a < 3; ++a) {
+      const __m128i lo = _mm_xor_si128(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(soa.lo(a) + i)),
+          bias);
+      const __m128i hi = _mm_xor_si128(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(soa.hi(a) + i)),
+          bias);
+      fail = _mm_or_si128(fail, _mm_cmpgt_epi16(lo, qhi[a]));
+      fail = _mm_or_si128(fail, _mm_cmpgt_epi16(qlo[a], hi));
+    }
+    const int mask = _mm_movemask_epi8(_mm_cmpeq_epi16(fail, zero));
+    for (int k = 0; k < 8; ++k) {
+      hits[i + k] = static_cast<uint8_t>((mask >> (2 * k)) & 1);
+    }
+  }
+  std::memset(hits + soa.count(), 0, padded - soa.count());
+#else
+  IntersectsQuantizedSoaScalar(soa, query, hits);
+#endif
+}
+
 }  // namespace flat

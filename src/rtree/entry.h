@@ -8,14 +8,16 @@
 
 namespace flat {
 
-/// One slot of an R-Tree node (and of a FLAT object page).
+/// One slot of an exact-format R-Tree node (and of a FLAT object page).
 ///
 /// In leaf nodes `id` is the element identifier; in internal nodes it is the
-/// PageId of the child node. The paper stores bare MBRs (48 bytes) on leaf
-/// pages; we add an 8-byte identifier so query results can name the elements
-/// they return, giving 56-byte slots and a fanout of 73 on 4 KiB pages
-/// instead of the paper's 85 — a constant factor that affects neither trends
-/// nor comparisons, since every index here uses the same slot format.
+/// PageId of the child node. The paper stores bare MBRs on leaf pages; we add
+/// an 8-byte identifier so query results can name the elements they return —
+/// a constant factor that affects neither trends nor comparisons, since every
+/// index here uses the same slot format. The actual slot sizes and per-page
+/// fanouts are *derived*, not quoted: see the static_asserts in rtree/node.h
+/// next to NodeCapacity / QuantizedNodeCapacity, the one place the numbers
+/// live.
 struct RTreeEntry {
   Aabb box;
   uint64_t id = 0;
@@ -23,7 +25,25 @@ struct RTreeEntry {
 
 static_assert(std::is_trivially_copyable_v<RTreeEntry>,
               "RTreeEntry is serialized to pages by memcpy");
-static_assert(sizeof(RTreeEntry) == 56, "unexpected on-page slot size");
+static_assert(sizeof(RTreeEntry) == sizeof(Aabb) + sizeof(uint64_t),
+              "no padding: the slot is an Aabb (6 f64) plus a u64 id");
+
+/// One slot of a *compressed* (quantized) internal node: the child MBR as
+/// six u16 cell indexes on the 65536-cell grid spanned by the node's own
+/// exact box (stored once per page — see rtree/node.h and
+/// docs/file_format.md §2.1), plus the child PageId. Quantization rounds
+/// outward (geometry/box_kernels.h), so the slot's box contains the child's
+/// exact box and integer gates never miss.
+struct QuantizedSlot {
+  uint16_t lo[3] = {0, 0, 0};  ///< lo.x lo.y lo.z cell indexes
+  uint16_t hi[3] = {0, 0, 0};  ///< hi.x hi.y hi.z cell indexes
+  uint32_t child = 0;          ///< child PageId
+};
+
+static_assert(std::is_trivially_copyable_v<QuantizedSlot>,
+              "QuantizedSlot is serialized to pages by memcpy");
+static_assert(sizeof(QuantizedSlot) == 6 * sizeof(uint16_t) + sizeof(uint32_t),
+              "no padding: six u16 cells plus a u32 child PageId");
 
 }  // namespace flat
 

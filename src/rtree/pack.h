@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "rtree/entry.h"
+#include "rtree/node.h"
 #include "rtree/rtree.h"
 #include "storage/page_file.h"
 
@@ -66,20 +67,33 @@ size_t CeilSqrt(size_t value);
 /// and returns the parent-level entries (node MBR + child PageId). Level-0
 /// pages are tagged `leaf_category`, higher levels `internal_category` (the
 /// FLAT seed tree reuses this machinery with seed categories).
+///
+/// `internal_format` selects the page layout of levels > 0 (rtree/node.h):
+/// kExact writes classic RTreeEntry pages; kQuantized writes compressed
+/// pages — the chunk's exact union box once, children as outward-rounded
+/// 16-bit MBRs — with ~3.45x the fanout. Level 0 is always exact (results
+/// must be exact), and only readers that dispatch on the header's format
+/// byte (the FLAT seed descent) may consume quantized pages; the plain
+/// RTree query path reads exact pages only.
 std::vector<RTreeEntry> PackLevel(
     PageFile* file, const std::vector<RTreeEntry>& ordered, uint8_t level,
     PageCategory leaf_category = PageCategory::kRTreeLeaf,
-    PageCategory internal_category = PageCategory::kRTreeInternal);
+    PageCategory internal_category = PageCategory::kRTreeInternal,
+    NodeFormat internal_format = NodeFormat::kExact);
 
 /// Repeatedly packs levels until a single root remains; `level_entries` are
 /// the parents of the already-written level `level - 1`. Returns the finished
 /// tree. `pool` parallelizes the per-level STR re-ordering (page writes stay
 /// serial so PageIds are allocated in a deterministic order).
+/// `internal_format` as in PackLevel; the STR tile size follows the selected
+/// format's capacity, so compressed levels pack ~3.45x more children per
+/// node and the tree gets correspondingly shallower.
 RTree BuildUpperLevels(
     PageFile* file, std::vector<RTreeEntry> level_entries, uint8_t level,
     LevelOrder order,
     PageCategory internal_category = PageCategory::kRTreeInternal,
-    ThreadPool* pool = nullptr);
+    ThreadPool* pool = nullptr,
+    NodeFormat internal_format = NodeFormat::kExact);
 
 /// Bulkloads from pre-ordered leaf entries: packs leaves in the given order,
 /// then builds upper levels per `order`. The workhorse shared by every

@@ -14,7 +14,11 @@
 namespace flat {
 namespace {
 
-constexpr char kMagic[8] = {'F', 'L', 'A', 'T', 'P', 'G', 'F', '1'};
+// v1 (exact node pages only) and v2 (contains compressed internal pages)
+// share the container layout; the per-page format byte self-describes, so
+// the backend accepts both (see storage/persistence.cc).
+constexpr char kMagicV1[8] = {'F', 'L', 'A', 'T', 'P', 'G', 'F', '1'};
+constexpr char kMagicV2[8] = {'F', 'L', 'A', 'T', 'P', 'G', 'F', '2'};
 constexpr uint64_t kHeaderBytes = 16;  // magic + u32 page_size + u32 count
 
 [[noreturn]] void Fail(const std::string& path, const std::string& what) {
@@ -73,7 +77,8 @@ std::unique_ptr<DiskPageFile> DiskPageFile::Open(const std::string& path,
 
   char header[kHeaderBytes];
   ReadFully(file->fd_, path, header, sizeof(header), 0);
-  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+  if (std::memcmp(header, kMagicV1, sizeof(kMagicV1)) != 0 &&
+      std::memcmp(header, kMagicV2, sizeof(kMagicV2)) != 0) {
     Fail(path, "bad magic (not a FLAT page file or unsupported version)");
   }
   file->page_size_ = LoadU32(header + 8);

@@ -8,10 +8,37 @@
 #include <stdexcept>
 #include <vector>
 
+#include "rtree/node.h"
+
 namespace flat {
 namespace {
 
-constexpr char kMagic[8] = {'F', 'L', 'A', 'T', 'P', 'G', 'F', '1'};
+// Version 1: every node page exact. Version 2: the store contains at least
+// one compressed (quantized) internal node page — same container layout,
+// but pre-quantization readers must reject it rather than mis-gate, which
+// the magic guarantees. Readers here accept both.
+constexpr char kMagicV1[8] = {'F', 'L', 'A', 'T', 'P', 'G', 'F', '1'};
+constexpr char kMagicV2[8] = {'F', 'L', 'A', 'T', 'P', 'G', 'F', '2'};
+
+// True iff any internal node page carries the quantized format tag (header
+// byte 3, rtree/node.h). Only internal categories can be quantized; other
+// categories reuse that byte's offset for their own data (seed-leaf slot
+// directories), so they are skipped rather than sniffed.
+bool HasQuantizedNodePages(const PageStore& file) {
+  for (PageId id = 0; id < file.page_count(); ++id) {
+    const PageCategory category = file.category(id);
+    if (category != PageCategory::kSeedInternal &&
+        category != PageCategory::kRTreeInternal) {
+      continue;
+    }
+    NodeHeader header;
+    std::memcpy(&header, file.Data(id), sizeof(header));
+    if (static_cast<NodeFormat>(header.format) == NodeFormat::kQuantized) {
+      return true;
+    }
+  }
+  return false;
+}
 
 void WriteU32(std::ostream& out, uint32_t value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(value));
@@ -34,7 +61,10 @@ void SavePageFile(const PageStore& file, std::ostream& out) {
     throw std::runtime_error(
         "SavePageFile: page count exceeds the format's u32 field");
   }
-  out.write(kMagic, sizeof(kMagic));
+  // Stores without compressed pages keep the v1 magic, byte for byte: a
+  // plain exact build round-trips through old and new readers alike.
+  out.write(HasQuantizedNodePages(file) ? kMagicV2 : kMagicV1,
+            sizeof(kMagicV1));
   WriteU32(out, file.page_size());
   WriteU32(out, static_cast<uint32_t>(file.page_count()));
   for (PageId id = 0; id < file.page_count(); ++id) {
@@ -50,7 +80,8 @@ void SavePageFile(const PageStore& file, std::ostream& out) {
 std::unique_ptr<PageFile> LoadPageFile(std::istream& in) {
   char magic[8];
   in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  if (!in || (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) != 0 &&
+              std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) != 0)) {
     throw std::runtime_error("LoadPageFile: bad magic (not a FLAT page file "
                              "or unsupported version)");
   }

@@ -17,11 +17,17 @@ namespace flat {
 /// root/height pair) is all that is needed to reopen an index.
 ///
 /// Format (little-endian):
-///   magic "FLATPGF1" | u32 page_size | u32 page_count |
+///   magic "FLATPGF1" or "FLATPGF2" | u32 page_size | u32 page_count |
 ///   u8 category[page_count] | page bytes (page_count * page_size)
 ///
 /// The format is versioned via the magic; readers reject unknown magics and
-/// truncated streams by throwing std::runtime_error.
+/// truncated streams by throwing std::runtime_error. "FLATPGF2" is written
+/// iff the store contains compressed (quantized) internal node pages
+/// (rtree/node.h) — the container layout is unchanged, but readers that
+/// predate the page format must reject such files rather than mis-parse
+/// them. LoadPageFile and DiskPageFile::Open accept both versions; stores
+/// without compressed pages always serialize as byte-identical v1 files.
+/// See docs/file_format.md for the back-compat matrix.
 ///
 /// Accepts any PageStore (so a DiskPageFile can be re-saved); throws
 /// std::runtime_error if the store's page count exceeds the format's u32

@@ -1,0 +1,118 @@
+// Compressed (quantized) interior node pages, rtree/node.h: writer/view
+// round trip, the containment guarantee of the conservative dequantizer,
+// capacity/format bookkeeping, and the node-level never-miss property the
+// seed descent relies on.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "geometry/box_kernels.h"
+#include "rtree/entry.h"
+#include "rtree/node.h"
+#include "tests/test_util.h"
+
+namespace flat {
+namespace {
+
+// Children that tile (and slightly overhang) a node box, ids included.
+std::vector<RTreeEntry> ChildEntries(size_t count, uint64_t seed) {
+  std::vector<RTreeEntry> entries = testing::RandomEntries(count, seed);
+  return entries;
+}
+
+Aabb UnionOf(const std::vector<RTreeEntry>& entries) {
+  Aabb box;
+  for (const RTreeEntry& e : entries) box.ExpandToInclude(e.box);
+  return box;
+}
+
+TEST(QuantizedNodeTest, CapacityAndLayoutConstants) {
+  // The satellite constants: derived in rtree/node.h, re-checked here so a
+  // layout change cannot silently shift the on-disk format.
+  EXPECT_EQ(sizeof(QuantizedSlot), 16u);
+  EXPECT_EQ(kQuantizedSlotsOffset, kNodeHeaderSize + sizeof(Aabb));
+  EXPECT_EQ(QuantizedNodeCapacity(4096), 252u);
+  EXPECT_EQ(QuantizedNodeCapacity(512), 28u);
+  EXPECT_EQ(NodeCapacityFor(NodeFormat::kExact, 4096), NodeCapacity(4096));
+  EXPECT_EQ(NodeCapacityFor(NodeFormat::kQuantized, 4096),
+            QuantizedNodeCapacity(4096));
+}
+
+TEST(QuantizedNodeTest, WriterViewRoundTrip) {
+  constexpr uint32_t kPageSize = 4096;
+  const auto entries = ChildEntries(QuantizedNodeCapacity(kPageSize), 42);
+  const Aabb bounds = UnionOf(entries);
+
+  std::vector<char> page(kPageSize, '\xee');
+  CompressedNodeWriter writer(page.data(), kPageSize);
+  writer.Init(/*level=*/2, bounds);
+  for (const RTreeEntry& e : entries) writer.Append(e);
+
+  const CompressedNodeView view(page.data());
+  EXPECT_EQ(view.count(), entries.size());
+  EXPECT_EQ(view.level(), 2);
+  EXPECT_EQ(view.node_box().lo(), bounds.lo());
+  EXPECT_EQ(view.node_box().hi(), bounds.hi());
+
+  // The header must also parse as a generic NodeView header (the format
+  // dispatch in the seed descent reads it that way first).
+  NodeView header(page.data());
+  EXPECT_EQ(header.format(), NodeFormat::kQuantized);
+  EXPECT_EQ(header.count(), entries.size());
+  EXPECT_EQ(header.level(), 2);
+
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(view.ChildIdAt(static_cast<uint16_t>(i)), entries[i].id);
+    // Conservative dequantization: the child's exact box is contained in
+    // the widened box the view reconstructs.
+    const Aabb widened = view.ChildBoxAt(static_cast<uint16_t>(i));
+    EXPECT_TRUE(widened.Contains(entries[i].box))
+        << "child " << i << " not contained by its dequantized box";
+    EXPECT_TRUE(bounds.Contains(widened));
+  }
+}
+
+TEST(QuantizedNodeTest, GateNeverMissesAtNodeLevel) {
+  // End-to-end over a real page: for every query, the set of children whose
+  // quantized slots gate as hits must be a superset of the children whose
+  // exact boxes intersect.
+  constexpr uint32_t kPageSize = 512;  // small page -> several nodes' worth
+  const auto entries = ChildEntries(QuantizedNodeCapacity(kPageSize), 7);
+  const Aabb bounds = UnionOf(entries);
+
+  std::vector<char> page(kPageSize, 0);
+  CompressedNodeWriter writer(page.data(), kPageSize);
+  writer.Init(/*level=*/1, bounds);
+  for (const RTreeEntry& e : entries) writer.Append(e);
+  const CompressedNodeView view(page.data());
+
+  QuantizedSoa soa;
+  soa.Assign(view.slots(), sizeof(QuantizedSlot), view.count());
+  std::vector<uint8_t> hits(soa.padded_count());
+  for (const Aabb& query : testing::RandomQueries(200, 99)) {
+    IntersectsQuantizedSoa(soa, QuantizeQuery(bounds, query), hits.data());
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].box.Intersects(query)) {
+        EXPECT_EQ(hits[i], 1) << "query missed intersecting child " << i;
+      }
+    }
+  }
+}
+
+TEST(QuantizedNodeTest, ExactPagesUntouchedByFormatByte) {
+  // An exact page written by NodeWriter still reports kExact — the format
+  // byte reuses what was a reserved zero byte, so old pages parse as exact.
+  constexpr uint32_t kPageSize = 4096;
+  const auto entries = ChildEntries(10, 3);
+  std::vector<char> page(kPageSize, 0);
+  NodeWriter writer(page.data(), kPageSize);
+  writer.Init(/*level=*/1);
+  for (const RTreeEntry& e : entries) writer.Append(e);
+  NodeView view(page.data());
+  EXPECT_EQ(view.format(), NodeFormat::kExact);
+  EXPECT_EQ(view.count(), entries.size());
+}
+
+}  // namespace
+}  // namespace flat
