@@ -1,0 +1,203 @@
+// Update churn on the dynamic ShardedFlatStore: rounds of mixed
+// insert/erase traffic followed by a validated range-query batch and a
+// compaction, measuring write throughput, query latency as the overlay
+// window grows, and the cost of folding the window back into a bulkloaded
+// base. Every query batch is validated against a brute-force oracle mirror
+// of the store, so the bench doubles as an end-to-end correctness gate.
+//
+// Flags: --scale --seed --threads=N (default 4) --shards=K (default 4)
+// --rounds=N (default 4) --ops=N (churn ops per round, default 5000)
+// --queries=N (validated queries per round, default 200)
+// --json (emit the run as a JSON document, e.g. for a BENCH_update.json
+// baseline). Exits non-zero if any query diverges from the oracle.
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <unordered_map>
+#include <vector>
+
+#include "benchutil/flags.h"
+#include "benchutil/table.h"
+#include "data/query_generator.h"
+#include "data/uniform_generator.h"
+#include "engine/query_engine.h"
+#include "geometry/rng.h"
+#include "shard/sharded_flat_store.h"
+
+int main(int argc, char** argv) {
+  using namespace flat;
+  using Clock = std::chrono::steady_clock;
+  BenchFlags flags(argc, argv);
+
+  UniformBoxParams params;
+  params.count = flags.Scaled(100000);
+  params.seed = flags.seed();
+  Dataset dataset = GenerateUniformBoxes(params);
+
+  const size_t threads = static_cast<size_t>(flags.GetInt("threads", 4));
+  const size_t shards = static_cast<size_t>(flags.GetInt("shards", 4));
+  const size_t rounds = static_cast<size_t>(flags.GetInt("rounds", 4));
+  const size_t ops_per_round = static_cast<size_t>(flags.GetInt("ops", 5000));
+  const size_t queries_per_round =
+      static_cast<size_t>(flags.GetInt("queries", 200));
+  const uint64_t id_space = dataset.elements.size() * 2;
+
+  ShardedFlatStore store = ShardedFlatStore::Build(
+      dataset.elements, {.num_shards = shards, .num_threads = threads});
+
+  // Brute-force oracle mirror, updated in lockstep with the store.
+  std::unordered_map<uint64_t, Aabb> oracle;
+  for (const RTreeEntry& e : dataset.elements) oracle[e.id] = e.box;
+  auto oracle_range = [&](const Aabb& box) {
+    std::vector<uint64_t> ids;
+    for (const auto& [id, b] : oracle) {
+      if (b.Intersects(box)) ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+
+  std::ostream& info = flags.GetInt("json", 0) != 0 ? std::cerr : std::cout;
+  info << "# " << dataset.elements.size() << " uniform elements, " << rounds
+       << " rounds x (" << ops_per_round << " churn ops + "
+       << queries_per_round << " validated queries + compact), K=" << shards
+       << ", " << threads << " worker threads\n";
+
+  struct Point {
+    size_t round = 0;
+    double write_seconds = 0.0;
+    double query_seconds = 0.0;
+    double compact_seconds = 0.0;
+    uint64_t overlay_ops = 0;       // window size when the queries ran
+    uint64_t overlay_probes = 0;    // total overlay probes across the batch
+    uint64_t page_reads = 0;        // total page reads across the batch
+    uint64_t folded_ops = 0;
+    uint64_t merged_elements = 0;
+    uint64_t generation = 0;
+    bool identical = true;
+  };
+  std::vector<Point> points;
+
+  Rng rng(flags.seed() + 17);
+  RangeWorkloadParams workload;
+  workload.count = queries_per_round;
+  workload.volume_fraction = 2e-5;
+  bool all_identical = true;
+
+  for (size_t round = 0; round < rounds; ++round) {
+    Point p;
+    p.round = round;
+
+    // Churn: ~2/3 upserting inserts, ~1/3 deletes, ids colliding with the
+    // base so every operation class (fresh insert, move, mask) is exercised.
+    const auto t_write = Clock::now();
+    for (size_t i = 0; i < ops_per_round; ++i) {
+      const uint64_t id = static_cast<uint64_t>(
+          rng.UniformInt(0, static_cast<int64_t>(id_space) - 1));
+      if (rng.Bernoulli(1.0 / 3.0)) {
+        store.Erase(id);
+        oracle.erase(id);
+      } else {
+        const Vec3 center = rng.PointIn(dataset.bounds);
+        const double frac = rng.Uniform(0.0005, 0.01);
+        const RTreeEntry entry{
+            Aabb::FromCenterHalfExtents(center,
+                                        dataset.bounds.Extents() * (frac / 2)),
+            id};
+        store.Insert(entry);
+        oracle[id] = entry.box;
+      }
+    }
+    p.write_seconds =
+        std::chrono::duration<double>(Clock::now() - t_write).count();
+    p.overlay_ops = store.overlay_op_count();
+
+    // Validated query batch over the overlaid store.
+    workload.seed = flags.seed() + 100 + round;
+    const std::vector<Aabb> boxes =
+        GenerateRangeWorkload(dataset.bounds, workload);
+    std::vector<Query> batch;
+    batch.reserve(boxes.size());
+    for (const Aabb& box : boxes) batch.push_back(Query::Range(box));
+    BatchStats stats;
+    const auto t_query = Clock::now();
+    const std::vector<QueryResult> results = store.RunBatch(batch, &stats);
+    p.query_seconds =
+        std::chrono::duration<double>(Clock::now() - t_query).count();
+    p.page_reads = stats.io.TotalReads();
+    p.overlay_probes = stats.io.OverlayProbes();
+    for (size_t i = 0; i < boxes.size(); ++i) {
+      if (results[i].ids != oracle_range(boxes[i])) {
+        p.identical = false;
+        all_identical = false;
+        break;
+      }
+    }
+
+    // Fold the window back into a bulkloaded base.
+    const ShardedFlatStore::CompactionStats cstats = store.Compact();
+    p.compact_seconds = cstats.seconds;
+    p.folded_ops = cstats.folded_ops;
+    p.merged_elements = cstats.merged_elements;
+    p.generation = cstats.generation;
+    points.push_back(p);
+  }
+
+  // Post-compaction sanity: the final folded store still mirrors the oracle.
+  const Aabb everything(Vec3(-1e18, -1e18, -1e18), Vec3(1e18, 1e18, 1e18));
+  const bool final_identical =
+      store.RangeQuery(everything) == oracle_range(everything);
+  all_identical = all_identical && final_identical;
+
+  if (flags.GetInt("json", 0) != 0) {
+    std::cout << "{\n"
+              << "  \"bench\": \"update_churn\",\n"
+              << "  \"elements\": " << dataset.elements.size() << ",\n"
+              << "  \"shards\": " << shards << ",\n"
+              << "  \"threads\": " << threads << ",\n"
+              << "  \"ops_per_round\": " << ops_per_round << ",\n"
+              << "  \"queries_per_round\": " << queries_per_round << ",\n"
+              << "  \"final_identical_to_oracle\": "
+              << (final_identical ? "true" : "false") << ",\n"
+              << "  \"points\": [\n";
+    for (size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      std::cout << "    {\"round\": " << p.round
+                << ", \"write_seconds\": " << p.write_seconds
+                << ", \"overlay_ops\": " << p.overlay_ops
+                << ", \"query_seconds\": " << p.query_seconds
+                << ", \"page_reads\": " << p.page_reads
+                << ", \"overlay_probes\": " << p.overlay_probes
+                << ", \"compact_seconds\": " << p.compact_seconds
+                << ", \"folded_ops\": " << p.folded_ops
+                << ", \"merged_elements\": " << p.merged_elements
+                << ", \"generation\": " << p.generation
+                << ", \"identical_to_oracle\": "
+                << (p.identical ? "true" : "false") << "}"
+                << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    std::cout << "  ]\n}\n";
+  } else {
+    Table table({"round", "write s", "overlay ops", "query s", "page reads",
+                 "probes", "compact s", "merged", "gen", "identical"});
+    for (const Point& p : points) {
+      table.AddRow({FormatNumber(static_cast<double>(p.round), 0),
+                    FormatNumber(p.write_seconds, 4),
+                    FormatNumber(static_cast<double>(p.overlay_ops), 0),
+                    FormatNumber(p.query_seconds, 4),
+                    FormatNumber(static_cast<double>(p.page_reads), 0),
+                    FormatNumber(static_cast<double>(p.overlay_probes), 0),
+                    FormatNumber(p.compact_seconds, 4),
+                    FormatNumber(static_cast<double>(p.merged_elements), 0),
+                    FormatNumber(static_cast<double>(p.generation), 0),
+                    p.identical ? "yes" : "NO"});
+    }
+    flags.csv() ? table.PrintCsv(std::cout) : table.Print(std::cout);
+  }
+
+  if (!all_identical) {
+    std::cerr << "ERROR: dynamic store diverged from the brute-force oracle\n";
+    return 1;
+  }
+  return 0;
+}

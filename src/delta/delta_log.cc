@@ -1,0 +1,101 @@
+#include "delta/delta_log.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace flat {
+namespace {
+
+constexpr char kWalMagic[8] = {'F', 'L', 'A', 'T', 'W', 'A', 'L', '1'};
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+T ReadPod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in) throw std::runtime_error("LoadDeltaOps: truncated stream");
+  return value;
+}
+
+}  // namespace
+
+DeltaLog::DeltaLog() : head_(new Chunk), tail_(head_) {}
+
+DeltaLog::~DeltaLog() {
+  // Iterative teardown: a long chain must not recurse.
+  Chunk* chunk = head_;
+  while (chunk != nullptr) {
+    Chunk* next = chunk->next.load(std::memory_order_relaxed);
+    delete chunk;
+    chunk = next;
+  }
+}
+
+uint64_t DeltaLog::Append(const DeltaOp& op) {
+  std::lock_guard<std::mutex> lock(append_mu_);
+  const uint64_t seq = size_.load(std::memory_order_relaxed);
+  const size_t slot = static_cast<size_t>(seq % kChunkOps);
+  if (slot == 0 && seq != 0) {
+    Chunk* chunk = new Chunk;
+    tail_->next.store(chunk, std::memory_order_release);
+    tail_ = chunk;
+  }
+  tail_->ops[slot] = op;
+  // Publish: everything above (op bytes, chunk link) happens-before any
+  // reader that acquires a size >= seq + 1.
+  size_.store(seq + 1, std::memory_order_release);
+  return seq + 1;
+}
+
+void SaveDeltaOps(const DeltaLog& log, uint64_t first, uint64_t limit,
+                  std::ostream& out) {
+  const uint64_t published = log.size();
+  if (limit > published) limit = published;
+  if (first > limit) first = limit;
+  out.write(kWalMagic, sizeof(kWalMagic));
+  WritePod(out, static_cast<uint64_t>(limit - first));
+  log.Scan(first, limit, [&out](const DeltaOp& op, uint64_t) {
+    WritePod(out, static_cast<uint8_t>(op.kind));
+    WritePod(out, op.entry.id);
+    for (int axis = 0; axis < 3; ++axis) WritePod(out, op.entry.box.lo()[axis]);
+    for (int axis = 0; axis < 3; ++axis) WritePod(out, op.entry.box.hi()[axis]);
+  });
+  if (!out) throw std::runtime_error("SaveDeltaOps: write failed");
+}
+
+std::vector<DeltaOp> LoadDeltaOps(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kWalMagic, sizeof(kWalMagic)) != 0) {
+    throw std::runtime_error(
+        "LoadDeltaOps: bad magic (not a FLAT overlay WAL or unsupported "
+        "version)");
+  }
+  const uint64_t count = ReadPod<uint64_t>(in);
+  // Parse one op at a time — a hostile count must fail on its first missing
+  // op, not force a count-sized allocation up front.
+  std::vector<DeltaOp> ops;
+  for (uint64_t i = 0; i < count; ++i) {
+    DeltaOp op;
+    const uint8_t kind = ReadPod<uint8_t>(in);
+    if (kind > static_cast<uint8_t>(DeltaOp::Kind::kDelete)) {
+      throw std::runtime_error("LoadDeltaOps: invalid op kind");
+    }
+    op.kind = static_cast<DeltaOp::Kind>(kind);
+    op.entry.id = ReadPod<uint64_t>(in);
+    Vec3 lo, hi;
+    for (int axis = 0; axis < 3; ++axis) lo.At(axis) = ReadPod<double>(in);
+    for (int axis = 0; axis < 3; ++axis) hi.At(axis) = ReadPod<double>(in);
+    op.entry.box = Aabb(lo, hi);
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+}  // namespace flat

@@ -1,0 +1,111 @@
+#ifndef FLAT_DELTA_DELTA_LOG_H_
+#define FLAT_DELTA_DELTA_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+#include "rtree/entry.h"
+
+namespace flat {
+
+/// One mutation in the delta overlay log.
+///
+/// `kInsert` makes `entry` visible; if an element with the same id already
+/// exists (in the bulkloaded base or in an earlier overlay op) the new box
+/// replaces it — an upsert. `kDelete` hides the element with `entry.id`
+/// (box ignored); deleting an id that does not exist is a no-op. Within a
+/// snapshot, the op with the highest sequence number for an id wins.
+struct DeltaOp {
+  enum class Kind : uint8_t { kInsert = 0, kDelete = 1 };
+  Kind kind = Kind::kInsert;
+  RTreeEntry entry;
+};
+
+/// Append-only, epoch-published mutation log — the write side of the
+/// LSM-style delta overlay (docs/architecture.md "Dynamic FLAT").
+///
+/// Storage is a linked chain of fixed-size chunks. An op's sequence number
+/// is its position in the log; `size()` (the published epoch) is advanced
+/// with a release store only after the op's bytes and any new chunk link
+/// are in place, so a reader that observes `size() == n` may scan ops
+/// `[0, n)` without any lock — ops are immutable once published and chunk
+/// `next` pointers are set exactly once. This is what makes snapshots
+/// cheap: pinning an epoch is one atomic load, and every scan bounded by a
+/// pinned epoch is race-free against concurrent appends by construction.
+///
+/// Thread-safety: any number of concurrent Append callers (serialized by an
+/// internal mutex) racing any number of Scan/size callers. Chunks are never
+/// freed before destruction, so ops stay readable for the lifetime of the
+/// log — compaction advances a logical floor instead of truncating (see
+/// ShardedFlatStore::Compact).
+class DeltaLog {
+ public:
+  DeltaLog();
+  ~DeltaLog();
+
+  DeltaLog(const DeltaLog&) = delete;
+  DeltaLog& operator=(const DeltaLog&) = delete;
+
+  /// Appends one op; returns the epoch after the append (the op's sequence
+  /// number + 1). A snapshot pinned at an epoch >= the returned value sees
+  /// the op. Thread-safe.
+  uint64_t Append(const DeltaOp& op);
+
+  /// Number of published ops (the current epoch). Acquire-loads, so all ops
+  /// below the returned value are safe to Scan from this thread.
+  uint64_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// Visits ops `[first, min(limit, size()))` in sequence order:
+  /// `visit(const DeltaOp&, uint64_t seq)`. Safe to call concurrently with
+  /// Append; never blocks writers.
+  template <typename Visitor>
+  void Scan(uint64_t first, uint64_t limit, Visitor&& visit) const {
+    const uint64_t published = size();
+    if (limit > published) limit = published;
+    if (first >= limit) return;
+    const Chunk* chunk = head_;
+    uint64_t chunk_base = 0;
+    while (chunk_base + kChunkOps <= first) {
+      chunk = chunk->next.load(std::memory_order_acquire);
+      chunk_base += kChunkOps;
+    }
+    for (uint64_t seq = first; seq < limit; ++seq) {
+      if (seq - chunk_base == kChunkOps) {
+        chunk = chunk->next.load(std::memory_order_acquire);
+        chunk_base += kChunkOps;
+      }
+      visit(chunk->ops[seq - chunk_base], seq);
+    }
+  }
+
+ private:
+  static constexpr size_t kChunkOps = 256;
+
+  struct Chunk {
+    DeltaOp ops[kChunkOps];
+    std::atomic<Chunk*> next{nullptr};
+  };
+
+  std::mutex append_mu_;
+  Chunk* head_;             // set once at construction, never changes
+  Chunk* tail_;             // writers only, under append_mu_
+  std::atomic<uint64_t> size_{0};
+};
+
+/// Serializes ops `[first, min(limit, log.size()))` as an overlay
+/// write-ahead log (magic "FLATWAL1"; byte layout in docs/file_format.md).
+/// Throws std::runtime_error on stream failure.
+void SaveDeltaOps(const DeltaLog& log, uint64_t first, uint64_t limit,
+                  std::ostream& out);
+
+/// Reads ops previously written by SaveDeltaOps, in order. Rejects unknown
+/// magics, truncated streams and invalid op kinds by throwing
+/// std::runtime_error.
+std::vector<DeltaOp> LoadDeltaOps(std::istream& in);
+
+}  // namespace flat
+
+#endif  // FLAT_DELTA_DELTA_LOG_H_

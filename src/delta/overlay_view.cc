@@ -1,0 +1,45 @@
+#include "delta/overlay_view.h"
+
+#include <unordered_map>
+#include <utility>
+
+namespace flat {
+
+std::shared_ptr<const OverlayView> OverlayView::Build(
+    const DeltaLog& log, uint64_t first, uint64_t limit,
+    const std::vector<Aabb>& shard_bounds) {
+  const uint64_t published = log.size();
+  if (limit > published) limit = published;
+  if (first >= limit) return nullptr;
+
+  // Last op wins per id: fold the window into one outcome per touched id.
+  std::unordered_map<uint64_t, DeltaOp> last;
+  log.Scan(first, limit, [&last](const DeltaOp& op, uint64_t) {
+    last[op.entry.id] = op;
+  });
+
+  auto view = std::shared_ptr<OverlayView>(new OverlayView);
+  view->first_ = first;
+  view->limit_ = limit;
+  view->buckets_.resize(shard_bounds.size() + 1);
+  view->touched_.reserve(last.size());
+  for (const auto& [id, op] : last) {
+    view->touched_.insert(id);
+    if (op.kind != DeltaOp::Kind::kInsert) continue;
+    // Route by containment: the entry joins the first shard whose element
+    // bounds contain its box, else the spill bucket. Containment (not mere
+    // overlap) is what lets queries skip buckets of unrouted shards.
+    size_t bucket = view->spill_bucket();
+    for (size_t s = 0; s < shard_bounds.size(); ++s) {
+      if (shard_bounds[s].Contains(op.entry.box)) {
+        bucket = s;
+        break;
+      }
+    }
+    view->buckets_[bucket].push_back(op.entry);
+    ++view->live_count_;
+  }
+  return view;
+}
+
+}  // namespace flat

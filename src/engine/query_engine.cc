@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <stdexcept>
 
+#include "core/overlay_merge.h"
+#include "delta/overlay_view.h"
 #include "storage/buffer_pool.h"
 
 namespace flat {
@@ -150,11 +153,82 @@ void DispatchQuery(const FlatIndex& index, const Query& query,
   }
 }
 
+void DispatchQueryWithOverlay(const FlatIndex* index, const Query& query,
+                              PageCache* cache, const OverlayView* overlay,
+                              size_t overlay_bucket, QueryResult* result,
+                              CrawlScratch* scratch) {
+  if (overlay == nullptr || overlay->empty()) {
+    if (index != nullptr && index->file() != nullptr) {
+      DispatchQuery(*index, query, cache, result, scratch);
+    }
+    return;
+  }
+  const bool has_index = index != nullptr && index->file() != nullptr;
+  uint64_t probes = 0;
+  switch (query.type) {
+    case Query::Type::kRange:
+      if (has_index) {
+        index->RangeQuery(cache, query.box, &result->ids, scratch, query.guard);
+        FilterOverlayMasked(*overlay, &result->ids);
+      }
+      probes = AppendOverlayRangeMatches(*overlay, overlay_bucket, query.box,
+                                         &result->ids, scratch);
+      result->count = result->ids.size();
+      break;
+    case Query::Type::kRangeCount:
+      // Delete masking needs the ids, so run the materializing range path
+      // (identical page reads by the FlatIndex contract), count the
+      // survivors plus overlay matches, and drop the vector.
+      if (has_index) {
+        index->RangeQuery(cache, query.box, &result->ids, scratch, query.guard);
+        FilterOverlayMasked(*overlay, &result->ids);
+      }
+      result->count = result->ids.size();
+      probes = CountOverlayRangeMatches(*overlay, overlay_bucket, query.box,
+                                        &result->count, scratch);
+      result->ids.clear();
+      break;
+    case Query::Type::kSeedScan:
+      if (has_index) {
+        index->RangeQueryViaSeedScan(cache, query.box, &result->ids);
+        FilterOverlayMasked(*overlay, &result->ids);
+      }
+      probes = AppendOverlayRangeMatches(*overlay, overlay_bucket, query.box,
+                                         &result->ids, scratch);
+      result->count = result->ids.size();
+      break;
+    case Query::Type::kSphere:
+      if (has_index) {
+        index->SphereQuery(cache, query.center, query.radius, &result->ids,
+                           scratch);
+        FilterOverlayMasked(*overlay, &result->ids);
+      }
+      probes = AppendOverlaySphereMatches(*overlay, overlay_bucket,
+                                          query.center, query.radius,
+                                          &result->ids);
+      result->count = result->ids.size();
+      break;
+    case Query::Type::kKnn:
+      throw std::logic_error(
+          "DispatchQueryWithOverlay: kKnn is not supported over a delta "
+          "overlay");
+  }
+  result->io.RecordOverlayProbes(probes);
+}
+
 void QueryEngine::ExecuteQuery(const Job& job, const IndexedQuery& iq,
                                QueryResult* result, WorkerState* state) {
-  // A null or never-built index has no PageStore to read from; the query
-  // legitimately returns empty.
-  if (iq.index == nullptr || iq.index->file() == nullptr) return;
+  const bool has_index = iq.index != nullptr && iq.index->file() != nullptr;
+  if (!has_index) {
+    // No PageStore to read from. Without an overlay the query legitimately
+    // returns empty; with one it is a pure overlay bucket scan (the spill
+    // tail of an overlayed store) — no cache needed.
+    if (iq.overlay != nullptr) {
+      DispatchQueryWithOverlay(nullptr, iq.query, nullptr, iq.overlay,
+                               iq.overlay_bucket, result, &state->scratch);
+    }
+    return;
+  }
   const int prefetch_depth = iq.query.prefetch_depth >= 0
                                  ? iq.query.prefetch_depth
                                  : options_.prefetch_depth;
@@ -163,7 +237,8 @@ void QueryEngine::ExecuteQuery(const Job& job, const IndexedQuery& iq,
     assert(it != job.shared_caches->end());
     StripedBufferPool::Session session(it->second.get(), &result->io,
                                        prefetch_depth);
-    DispatchQuery(*iq.index, iq.query, &session, result, &state->scratch);
+    DispatchQueryWithOverlay(iq.index, iq.query, &session, iq.overlay,
+                             iq.overlay_bucket, result, &state->scratch);
     return;
   }
   // Cold-per-query mode: recycle the worker's pool — Clear() is an O(1)
@@ -181,7 +256,8 @@ void QueryEngine::ExecuteQuery(const Job& job, const IndexedQuery& iq,
     pool->set_stats(&result->io);
   }
   pool->set_prefetch_depth(prefetch_depth);
-  DispatchQuery(*iq.index, iq.query, pool, result, &state->scratch);
+  DispatchQueryWithOverlay(iq.index, iq.query, pool, iq.overlay,
+                           iq.overlay_bucket, result, &state->scratch);
 }
 
 }  // namespace flat

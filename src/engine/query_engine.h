@@ -98,12 +98,23 @@ struct QueryResult {
   IoStats io;
 };
 
+class OverlayView;
+
 /// A query paired with the index it runs against, for multi-index batches
 /// (e.g. the scatter phase of ShardedFlatStore). `index` may be null or
-/// unbuilt, in which case the query legitimately yields an empty result.
+/// unbuilt, in which case the query yields an empty result — unless an
+/// `overlay` is attached, in which case the sub-query still scans overlay
+/// bucket `overlay_bucket` (this is how the spill-bucket tail sub-query of
+/// an overlayed store runs with no shard index at all).
 struct IndexedQuery {
   const FlatIndex* index = nullptr;
   Query query;
+  /// Snapshot overlay to merge with the index's result: base ids touched by
+  /// the overlay are masked out and live entries of `overlay_bucket` that
+  /// match the query are appended (see DispatchQueryWithOverlay). Null for
+  /// plain bulkload-only queries. The view must outlive the batch.
+  const OverlayView* overlay = nullptr;
+  size_t overlay_bucket = 0;
 };
 
 /// Runs one query against `index` through `cache` via the serial FlatIndex
@@ -116,6 +127,20 @@ struct IndexedQuery {
 void DispatchQuery(const FlatIndex& index, const Query& query,
                    PageCache* cache, QueryResult* result,
                    CrawlScratch* scratch = nullptr);
+
+/// Overlay-aware dispatch: runs `query` against `index` (if any), masks base
+/// ids the overlay touches, then appends/counts matching live entries of
+/// `overlay` bucket `overlay_bucket`, charging the gate tests to
+/// `result->io` as overlay probes. With a null/empty overlay this is exactly
+/// DispatchQuery; with a null/unbuilt index it degenerates to a pure overlay
+/// bucket scan (no page reads). kRangeCount runs the materializing range
+/// path internally — identical page reads by the FlatIndex contract — so
+/// delete masking can see the ids, then reports only the count. kKnn is not
+/// supported over an overlay and throws std::logic_error.
+void DispatchQueryWithOverlay(const FlatIndex* index, const Query& query,
+                              PageCache* cache, const OverlayView* overlay,
+                              size_t overlay_bucket, QueryResult* result,
+                              CrawlScratch* scratch = nullptr);
 
 /// Aggregate outcome of one batch execution.
 struct BatchStats {

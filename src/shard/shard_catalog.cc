@@ -9,7 +9,8 @@
 namespace flat {
 namespace {
 
-constexpr char kMagic[8] = {'F', 'L', 'A', 'T', 'S', 'H', 'C', '1'};
+constexpr char kMagicV1[8] = {'F', 'L', 'A', 'T', 'S', 'H', 'C', '1'};
+constexpr char kMagicV2[8] = {'F', 'L', 'A', 'T', 'S', 'H', 'C', '2'};
 
 // Shards are serialized PageFiles (u32 PageIds), so a catalog counting more
 // shards than pages could even exist is corrupt, not merely large.
@@ -58,7 +59,8 @@ void SaveShardCatalog(const ShardCatalog& catalog, std::ostream& out) {
           "SaveShardCatalog: shard file name length out of range");
     }
   }
-  out.write(kMagic, sizeof(kMagic));
+  out.write(kMagicV2, sizeof(kMagicV2));
+  WritePod(out, catalog.generation);
   WritePod(out, catalog.page_size);
   WritePod(out, catalog.total_elements);
   WriteAabb(out, catalog.universe);
@@ -80,12 +82,17 @@ void SaveShardCatalog(const ShardCatalog& catalog, std::ostream& out) {
 ShardCatalog LoadShardCatalog(std::istream& in) {
   char magic[8];
   in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  const bool is_v2 = in && std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
+  const bool is_v1 = in && std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0;
+  if (!is_v1 && !is_v2) {
     throw std::runtime_error(
         "LoadShardCatalog: bad magic (not a FLAT shard catalog or "
         "unsupported version)");
   }
   ShardCatalog catalog;
+  // V2 inserts the generation right after the magic; a V1 catalog predates
+  // generations and loads as generation 0.
+  catalog.generation = is_v2 ? ReadPod<uint64_t>(in) : 0;
   catalog.page_size = ReadPod<uint32_t>(in);
   if (catalog.page_size < 64 || catalog.page_size > (64u << 20)) {
     throw std::runtime_error("LoadShardCatalog: implausible page size");

@@ -39,6 +39,12 @@ struct ShardCatalogEntry {
 struct ShardCatalog {
   /// Page size shared by every shard's PageFile.
   uint32_t page_size = 0;
+  /// Monotone store generation: 1 after the initial bulkload, +1 per
+  /// compaction. A catalog whose generation regressed relative to the store
+  /// directory it is written into (tracked by the `generation.flatgen`
+  /// sidecar) is stale — saving or loading it is rejected. Legacy FLATSHC1
+  /// catalogs load as generation 0.
+  uint64_t generation = 0;
   /// Sum of element_count over the shards.
   uint64_t total_elements = 0;
   /// Bounds of the whole data set (the STR split's universe).
@@ -46,14 +52,15 @@ struct ShardCatalog {
   std::vector<ShardCatalogEntry> shards;
 };
 
-/// Writes `catalog` in the versioned binary format (magic "FLATSHC1",
+/// Writes `catalog` in the versioned binary format (magic "FLATSHC2",
 /// little-endian; see docs/file_format.md). Throws std::runtime_error on
 /// stream failure.
 void SaveShardCatalog(const ShardCatalog& catalog, std::ostream& out);
 
-/// Reads a catalog previously written by SaveShardCatalog. Rejects unknown
-/// magics, truncated streams and implausible field values by throwing
-/// std::runtime_error.
+/// Reads a catalog previously written by SaveShardCatalog. Accepts the
+/// current "FLATSHC2" layout and the pre-generation "FLATSHC1" layout
+/// (loaded as generation 0). Rejects unknown magics, truncated streams and
+/// implausible field values by throwing std::runtime_error.
 ShardCatalog LoadShardCatalog(std::istream& in);
 
 }  // namespace flat

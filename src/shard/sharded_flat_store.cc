@@ -6,11 +6,17 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "core/partitioner.h"
+#include "delta/delta_log.h"
+#include "delta/overlay_view.h"
 #include "parallel/thread_pool.h"
+#include "rtree/node.h"
+#include "storage/buffer_pool.h"
 #include "storage/disk_page_file.h"
 #include "storage/persistence.h"
 
@@ -36,6 +42,9 @@ std::string ShardFileName(size_t shard) {
 }
 
 constexpr char kCatalogFileName[] = "catalog.flatshard";
+constexpr char kOverlayWalFileName[] = "overlay.flatwal";
+constexpr char kGenerationFileName[] = "generation.flatgen";
+constexpr char kGenerationMagic[8] = {'F', 'L', 'A', 'T', 'G', 'E', 'N', '1'};
 
 // The bounding box that gates shard routing for a query; every element the
 // query can match has an MBR intersecting this box.
@@ -59,8 +68,10 @@ Aabb QueryGate(const Query& query) {
 // Gathers the sub-results of one scattered query: I/O is summed per
 // category; materializing queries concatenate ids and sort ascending (the
 // store's canonical order). No dedup is needed: the shards partition the
-// elements, so per-shard result sets are disjoint and the sorted merge is
-// exactly the sorted result of an unsharded index.
+// elements, per-shard result sets are disjoint, and overlay merging masks
+// every overlay-touched id out of base results before appending overlay
+// matches — so the sorted merge is exactly the sorted result of an
+// unsharded index over the merged data.
 void GatherSubResults(std::vector<QueryResult>* sub_results, size_t first,
                       size_t count, Query::Type type, QueryResult* out) {
   for (size_t s = 0; s < count; ++s) {
@@ -78,16 +89,126 @@ void GatherSubResults(std::vector<QueryResult>* sub_results, size_t first,
   }
 }
 
+// Reads the generation sidecar; throws on a corrupt one.
+uint64_t LoadGenerationSidecar(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("ShardedFlatStore: cannot open " + path.string());
+  }
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kGenerationMagic, sizeof(kGenerationMagic))) {
+    throw std::runtime_error("ShardedFlatStore: corrupt generation sidecar " +
+                             path.string());
+  }
+  uint64_t generation = 0;
+  in.read(reinterpret_cast<char*>(&generation), sizeof(generation));
+  if (!in) {
+    throw std::runtime_error("ShardedFlatStore: corrupt generation sidecar " +
+                             path.string());
+  }
+  return generation;
+}
+
+void SaveGenerationSidecar(const std::filesystem::path& path,
+                           uint64_t generation) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(kGenerationMagic, sizeof(kGenerationMagic));
+  out.write(reinterpret_cast<const char*>(&generation), sizeof(generation));
+  if (!out) {
+    throw std::runtime_error("ShardedFlatStore: cannot write " +
+                             path.string());
+  }
+}
+
 }  // namespace
 
-ShardedFlatStore ShardedFlatStore::Build(std::vector<RTreeEntry> elements,
-                                         const Options& options,
-                                         BuildStats* out_stats) {
-  ShardedFlatStore store;
+/// One immutable bulkload generation. Snapshots and the store share Bases by
+/// shared_ptr: Compact publishes a fresh Base and pinned snapshots keep the
+/// old one (and its PageFiles) alive until released.
+struct ShardedFlatStore::Base {
+  ShardCatalog catalog;
+  std::vector<std::unique_ptr<PageStore>> files;  // one per shard
+  std::vector<FlatIndex> indexes;                 // parallel to files
+  /// Log position this base has absorbed: ops < floor are folded into the
+  /// shard files, ops >= floor live in the overlay window. Monotone across
+  /// compactions.
+  uint64_t overlay_floor = 0;
+};
+
+/// The mutable heart of the store, held behind a unique_ptr so the store
+/// stays movable (mutexes are not).
+struct ShardedFlatStore::DynamicState {
+  /// Guards the base handle (pin = copy under mu, publish = swap under mu).
+  mutable std::mutex mu;
+  std::shared_ptr<const Base> base;
+  /// The delta overlay's op log. Appends serialize internally; reads are
+  /// lock-free (acquire on the published size).
+  DeltaLog log;
+  /// Serializes compactions with each other (never with readers/writers).
+  std::mutex compact_mu;
+};
+
+namespace {
+
+/// Per-shard routing bounds for OverlayView::Build — must be exactly the
+/// bounds Route() gates with, so bucket routing and query routing agree.
+std::vector<Aabb> ShardBounds(const ShardCatalog& catalog) {
+  std::vector<Aabb> bounds;
+  bounds.reserve(catalog.shards.size());
+  for (const ShardCatalogEntry& shard : catalog.shards) {
+    bounds.push_back(shard.bounds);
+  }
+  return bounds;
+}
+
+/// Appends the scatter list for one query against (base, overlay): one
+/// overlay-annotated sub-query per routed shard, plus — when an overlay is
+/// pinned — an index-free tail sub-query scanning the spill bucket.
+/// Returns the number of sub-queries appended.
+size_t AppendScatter(const ShardCatalog& catalog,
+                     const std::vector<FlatIndex>& indexes,
+                     const OverlayView* overlay, const Query& query,
+                     std::vector<IndexedQuery>* scatter) {
+  const Aabb gate = QueryGate(query);
+  size_t count = 0;
+  for (size_t s = 0; s < catalog.shards.size(); ++s) {
+    if (!catalog.shards[s].bounds.Intersects(gate)) continue;
+    scatter->push_back(IndexedQuery{&indexes[s], query, overlay, s});
+    ++count;
+  }
+  if (overlay != nullptr) {
+    // The spill bucket holds live entries contained in no shard's bounds
+    // (including everything when there are no shards); it is scanned
+    // unconditionally — it is the brute-force part of the overlay.
+    scatter->push_back(
+        IndexedQuery{nullptr, query, overlay, overlay->spill_bucket()});
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+ShardedFlatStore::ShardedFlatStore()
+    : state_(std::make_unique<DynamicState>()) {
+  state_->base = std::make_shared<const Base>();
+}
+
+ShardedFlatStore::~ShardedFlatStore() = default;
+ShardedFlatStore::ShardedFlatStore(ShardedFlatStore&&) = default;
+ShardedFlatStore& ShardedFlatStore::operator=(ShardedFlatStore&&) = default;
+
+std::shared_ptr<const ShardedFlatStore::Base> ShardedFlatStore::BuildBase(
+    std::vector<RTreeEntry> elements, const Options& options,
+    uint64_t generation, uint64_t overlay_floor, BuildStats* out_stats) {
+  auto base = std::make_shared<Base>();
   BuildStats stats;
   stats.elements = elements.size();
-  store.catalog_.page_size = options.page_size;
-  store.catalog_.total_elements = elements.size();
+  base->catalog.page_size = options.page_size;
+  base->catalog.generation = generation;
+  base->catalog.total_elements = elements.size();
+  base->overlay_floor = overlay_floor;
 
   if (!elements.empty()) {
     std::optional<ThreadPool> owned_pool;
@@ -99,7 +220,9 @@ ShardedFlatStore ShardedFlatStore::Build(std::vector<RTreeEntry> elements,
 
     // Top-level STR split: the same tiling machinery as the index build, at
     // shard granularity. Deterministic for any thread count
-    // (EntryCenterOrder is total), so the shard assignment is unique.
+    // (EntryCenterOrder is total), so the shard assignment is unique —
+    // and, crucially for compaction, independent of the order the merged
+    // elements were collected in.
     const auto t_split = Clock::now();
     const Aabb universe = BoundsOf(elements);
     const size_t target_shards = std::max<size_t>(1, options.num_shards);
@@ -109,7 +232,7 @@ ShardedFlatStore ShardedFlatStore::Build(std::vector<RTreeEntry> elements,
     const std::vector<PartitionInfo> split =
         StrPartition(&elements, shard_capacity, universe, pool);
     stats.split_seconds = SecondsSince(t_split);
-    store.catalog_.universe = universe;
+    base->catalog.universe = universe;
 
     // Scatter the (reordered) elements into per-shard vectors, then build
     // every shard's FlatIndex in parallel — one serial build per worker at a
@@ -125,37 +248,47 @@ ShardedFlatStore ShardedFlatStore::Build(std::vector<RTreeEntry> elements,
     elements.clear();
     elements.shrink_to_fit();
 
-    store.files_.resize(shard_count);
-    store.indexes_.resize(shard_count);
+    base->files.resize(shard_count);
+    base->indexes.resize(shard_count);
     stats.per_shard.resize(shard_count);
-    // Builds need the concrete PageFile (MutableData); files_ holds the
+    // Builds need the concrete PageFile (MutableData); files holds the
     // type-erased PageStore handles that queries read through.
     std::vector<PageFile*> shard_files(shard_count);
     for (size_t i = 0; i < shard_count; ++i) {
       auto file = std::make_unique<PageFile>(options.page_size);
       shard_files[i] = file.get();
-      store.files_[i] = std::move(file);
+      base->files[i] = std::move(file);
     }
     ParallelFor(pool, shard_count, /*grain=*/1, [&](size_t, size_t i) {
-      store.indexes_[i] = FlatIndex::Build(
-          shard_files[i], std::move(shard_elements[i]),
-          &stats.per_shard[i]);
+      base->indexes[i] = FlatIndex::Build(
+          shard_files[i], std::move(shard_elements[i]), &stats.per_shard[i]);
     });
     stats.build_seconds = SecondsSince(t_build);
 
-    store.catalog_.shards.resize(shard_count);
+    base->catalog.shards.resize(shard_count);
     for (size_t i = 0; i < shard_count; ++i) {
-      ShardCatalogEntry& entry = store.catalog_.shards[i];
+      ShardCatalogEntry& entry = base->catalog.shards[i];
       entry.page_file_name = ShardFileName(i);
-      entry.descriptor = store.indexes_[i].descriptor();
+      entry.descriptor = base->indexes[i].descriptor();
       entry.bounds = split[i].page_mbr;
       entry.tile = split[i].tile;
       entry.element_count = split[i].count;
     }
   }
 
-  stats.shards = store.indexes_.size();
-  store.build_stats_ = std::move(stats);
+  stats.shards = base->indexes.size();
+  if (out_stats != nullptr) *out_stats = std::move(stats);
+  return base;
+}
+
+ShardedFlatStore ShardedFlatStore::Build(std::vector<RTreeEntry> elements,
+                                         const Options& options,
+                                         BuildStats* out_stats) {
+  ShardedFlatStore store;
+  store.options_ = options;
+  store.state_->base = BuildBase(std::move(elements), options,
+                                 /*generation=*/1, /*overlay_floor=*/0,
+                                 &store.build_stats_);
   if (out_stats != nullptr) *out_stats = store.build_stats_;
   store.AttachEngine(options.num_threads);
   return store;
@@ -167,24 +300,129 @@ void ShardedFlatStore::AttachEngine(size_t num_threads) {
   engine_ = std::make_unique<QueryEngine>(options);
 }
 
-std::vector<size_t> ShardedFlatStore::Route(const Aabb& gate) const {
-  std::vector<size_t> shards;
-  for (size_t i = 0; i < catalog_.shards.size(); ++i) {
-    if (catalog_.shards[i].bounds.Intersects(gate)) shards.push_back(i);
+uint64_t ShardedFlatStore::Insert(const RTreeEntry& entry) {
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kInsert;
+  op.entry = entry;
+  return state_->log.Append(op);
+}
+
+uint64_t ShardedFlatStore::Erase(uint64_t id) {
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kDelete;
+  op.entry.id = id;
+  return state_->log.Append(op);
+}
+
+uint64_t ShardedFlatStore::epoch() const { return state_->log.size(); }
+
+uint64_t ShardedFlatStore::generation() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->base->catalog.generation;
+}
+
+uint64_t ShardedFlatStore::overlay_op_count() const {
+  std::shared_ptr<const Base> base;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    base = state_->base;
   }
-  return shards;
+  // Reading the size after pinning keeps the difference non-negative: the
+  // floor was the log size at some earlier instant.
+  return state_->log.size() - base->overlay_floor;
+}
+
+ShardedFlatStore::Snapshot ShardedFlatStore::PinSnapshot() const {
+  Snapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    snapshot.base_ = state_->base;
+  }
+  // The epoch is read after the base: the base's floor is a past log size,
+  // so floor <= epoch always and the window below is well-formed.
+  snapshot.epoch_ = state_->log.size();
+  snapshot.overlay_ =
+      OverlayView::Build(state_->log, snapshot.base_->overlay_floor,
+                         snapshot.epoch_, ShardBounds(snapshot.base_->catalog));
+  return snapshot;
+}
+
+ShardedFlatStore::CompactionStats ShardedFlatStore::Compact() {
+  // One compaction at a time; readers and the writer are never blocked by
+  // this lock (they only ever take state_->mu, and only for a pointer copy).
+  std::lock_guard<std::mutex> compact_lock(state_->compact_mu);
+  const auto start = Clock::now();
+
+  std::shared_ptr<const Base> base;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    base = state_->base;
+  }
+  const uint64_t limit = state_->log.size();
+
+  CompactionStats cstats;
+  cstats.folded_ops = limit - base->overlay_floor;
+  std::shared_ptr<const OverlayView> overlay = OverlayView::Build(
+      state_->log, base->overlay_floor, limit, ShardBounds(base->catalog));
+
+  // Merged element set = base elements minus overlay-touched ids, plus live
+  // overlay entries. Base elements are re-extracted from the shard files'
+  // object pages — the pages are immutable and exact (kObject pages are
+  // never quantized), so this is the authoritative copy, identical for
+  // in-memory and disk-backed shards.
+  std::vector<RTreeEntry> merged;
+  merged.reserve(base->catalog.total_elements +
+                 (overlay != nullptr ? overlay->live_count() : 0));
+  for (const std::unique_ptr<PageStore>& file : base->files) {
+    for (size_t page = 0; page < file->page_count(); ++page) {
+      const PageId id = static_cast<PageId>(page);
+      if (file->category(id) != PageCategory::kObject) continue;
+      const NodeView node(file->Data(id));
+      for (uint16_t i = 0; i < node.count(); ++i) {
+        const RTreeEntry entry = node.EntryAt(i);
+        if (overlay != nullptr && overlay->IsTouched(entry.id)) {
+          ++cstats.deleted;
+          continue;
+        }
+        merged.push_back(entry);
+      }
+    }
+  }
+  if (overlay != nullptr) {
+    for (size_t b = 0; b < overlay->bucket_count(); ++b) {
+      const std::vector<RTreeEntry>& bucket = overlay->bucket(b);
+      merged.insert(merged.end(), bucket.begin(), bucket.end());
+    }
+    cstats.inserted = overlay->live_count();
+  }
+  cstats.merged_elements = merged.size();
+
+  // Fresh bulkload with the store's own Options; the STR split's total
+  // order makes the new shard PageFiles byte-identical to
+  // Build(merged, options_) regardless of the order `merged` was collected
+  // in. The new base absorbs the window: its floor is the pinned limit.
+  std::shared_ptr<const Base> next =
+      BuildBase(std::move(merged), options_, base->catalog.generation + 1,
+                limit, &cstats.build);
+  cstats.generation = base->catalog.generation + 1;
+
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->base = std::move(next);
+  }
+  cstats.seconds = SecondsSince(start);
+  return cstats;
 }
 
 QueryResult ShardedFlatStore::RunSingle(const Query& query) const {
-  // A default-constructed store has no engine (and no shards): every query
-  // legitimately answers empty, mirroring an unbuilt FlatIndex.
-  if (engine_ == nullptr) return QueryResult{};
-  const std::vector<size_t> shards = Route(QueryGate(query));
+  Snapshot snapshot = PinSnapshot();
+  // A default-constructed store has no engine; the snapshot's serial
+  // executor answers instead (empty for an empty store, overlay-only scans
+  // for a store that has only seen inserts).
+  if (engine_ == nullptr) return snapshot.Execute(query);
   std::vector<IndexedQuery> scatter;
-  scatter.reserve(shards.size());
-  for (size_t shard : shards) {
-    scatter.push_back(IndexedQuery{&indexes_[shard], query});
-  }
+  AppendScatter(snapshot.base_->catalog, snapshot.base_->indexes,
+                snapshot.overlay_.get(), query, &scatter);
   std::vector<QueryResult> sub_results = engine_->RunMulti(scatter);
   QueryResult result;
   GatherSubResults(&sub_results, 0, sub_results.size(), query.type, &result);
@@ -223,46 +461,45 @@ std::vector<QueryResult> ShardedFlatStore::RunBatch(
     const std::vector<Query>& batch, BatchStats* stats) const {
   const auto start = Clock::now();
 
-  // Default-constructed store: no engine, no shards — every query answers
-  // empty (same contract as RunSingle).
-  if (engine_ == nullptr) {
-    if (stats != nullptr) {
-      *stats = BatchStats{};
-      stats->wall_seconds = SecondsSince(start);
-    }
-    return std::vector<QueryResult>(batch.size());
-  }
+  // One snapshot for the whole batch: every query sees the same epoch no
+  // matter how writers interleave with the batch's execution.
+  Snapshot snapshot = PinSnapshot();
 
-  // Scatter: one flat multi-index sub-batch covering every (query, shard)
-  // pair, so the engine's work-stealing pool balances across queries and
-  // shards alike.
-  std::vector<IndexedQuery> scatter;
-  struct Span {
-    size_t first = 0;
-    size_t count = 0;
-  };
-  std::vector<Span> spans(batch.size());
-  for (size_t i = 0; i < batch.size(); ++i) {
-    const std::vector<size_t> shards = Route(QueryGate(batch[i]));
-    spans[i].first = scatter.size();
-    spans[i].count = shards.size();
-    for (size_t shard : shards) {
-      scatter.push_back(IndexedQuery{&indexes_[shard], batch[i]});
-    }
-  }
-
-  std::vector<QueryResult> sub_results = engine_->RunMulti(scatter);
-
-  // Gather: per original query, merge its shards' sub-results.
   std::vector<QueryResult> results(batch.size());
-  for (size_t i = 0; i < batch.size(); ++i) {
-    GatherSubResults(&sub_results, spans[i].first, spans[i].count,
-                     batch[i].type, &results[i]);
+  if (engine_ == nullptr) {
+    // Default-constructed store: serial snapshot execution per query.
+    for (size_t i = 0; i < batch.size(); ++i) {
+      results[i] = snapshot.Execute(batch[i]);
+    }
+  } else {
+    // Scatter: one flat multi-index sub-batch covering every (query, shard)
+    // pair — plus each query's overlay tail — so the engine's work-stealing
+    // pool balances across queries and shards alike.
+    std::vector<IndexedQuery> scatter;
+    struct Span {
+      size_t first = 0;
+      size_t count = 0;
+    };
+    std::vector<Span> spans(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      spans[i].first = scatter.size();
+      spans[i].count =
+          AppendScatter(snapshot.base_->catalog, snapshot.base_->indexes,
+                        snapshot.overlay_.get(), batch[i], &scatter);
+    }
+
+    std::vector<QueryResult> sub_results = engine_->RunMulti(scatter);
+
+    // Gather: per original query, merge its shards' sub-results.
+    for (size_t i = 0; i < batch.size(); ++i) {
+      GatherSubResults(&sub_results, spans[i].first, spans[i].count,
+                       batch[i].type, &results[i]);
+    }
   }
 
   if (stats != nullptr) {
     *stats = BatchStats{};
-    stats->threads = engine_->threads();
+    stats->threads = engine_ != nullptr ? engine_->threads() : 1;
     for (const QueryResult& r : results) {
       stats->io += r.io;
       stats->result_elements += r.count;
@@ -272,10 +509,115 @@ std::vector<QueryResult> ShardedFlatStore::RunBatch(
   return results;
 }
 
+QueryResult ShardedFlatStore::Snapshot::Execute(const Query& query) const {
+  QueryResult result;
+  if (base_ == nullptr) return result;  // default-constructed Snapshot
+  std::vector<IndexedQuery> scatter;
+  AppendScatter(base_->catalog, base_->indexes, overlay_.get(), query,
+                &scatter);
+  std::vector<QueryResult> sub_results(scatter.size());
+  CrawlScratch scratch;
+  for (size_t i = 0; i < scatter.size(); ++i) {
+    const IndexedQuery& iq = scatter[i];
+    if (iq.index != nullptr && iq.index->file() != nullptr) {
+      // Cold cache per sub-query, exactly like the engine's default mode —
+      // the snapshot path's IoStats match the store-level entry points'.
+      BufferPool pool(iq.index->file(), &sub_results[i].io, /*capacity=*/0);
+      DispatchQueryWithOverlay(iq.index, iq.query, &pool, iq.overlay,
+                               iq.overlay_bucket, &sub_results[i], &scratch);
+    } else {
+      DispatchQueryWithOverlay(nullptr, iq.query, nullptr, iq.overlay,
+                               iq.overlay_bucket, &sub_results[i], &scratch);
+    }
+  }
+  GatherSubResults(&sub_results, 0, sub_results.size(), query.type, &result);
+  return result;
+}
+
+std::vector<uint64_t> ShardedFlatStore::Snapshot::RangeQuery(
+    const Aabb& query, IoStats* io) const {
+  QueryResult result = Execute(Query::Range(query));
+  if (io != nullptr) *io += result.io;
+  return std::move(result.ids);
+}
+
+uint64_t ShardedFlatStore::Snapshot::RangeCount(const Aabb& query,
+                                                IoStats* io) const {
+  QueryResult result = Execute(Query::RangeCount(query));
+  if (io != nullptr) *io += result.io;
+  return result.count;
+}
+
+std::vector<uint64_t> ShardedFlatStore::Snapshot::RangeQueryViaSeedScan(
+    const Aabb& query, IoStats* io) const {
+  QueryResult result = Execute(Query::RangeSeedScan(query));
+  if (io != nullptr) *io += result.io;
+  return std::move(result.ids);
+}
+
+std::vector<uint64_t> ShardedFlatStore::Snapshot::SphereQuery(
+    const Vec3& center, double radius, IoStats* io) const {
+  QueryResult result = Execute(Query::Sphere(center, radius));
+  if (io != nullptr) *io += result.io;
+  return std::move(result.ids);
+}
+
+uint64_t ShardedFlatStore::Snapshot::generation() const {
+  return base_ != nullptr ? base_->catalog.generation : 0;
+}
+
+uint64_t ShardedFlatStore::Snapshot::overlay_live_count() const {
+  return overlay_ != nullptr ? overlay_->live_count() : 0;
+}
+
+size_t ShardedFlatStore::Snapshot::shard_count() const {
+  return base_ != nullptr ? base_->indexes.size() : 0;
+}
+
+size_t ShardedFlatStore::shard_count() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->base->indexes.size();
+}
+
+const ShardCatalog& ShardedFlatStore::catalog() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->base->catalog;
+}
+
+const FlatIndex& ShardedFlatStore::shard_index(size_t shard) const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->base->indexes[shard];
+}
+
+const PageStore& ShardedFlatStore::shard_file(size_t shard) const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return *state_->base->files[shard];
+}
+
 void ShardedFlatStore::Save(const std::string& dir) const {
   namespace fs = std::filesystem;
   const fs::path root(dir);
   fs::create_directories(root);
+
+  // Pin what gets persisted: the base plus the overlay window [floor,
+  // epoch). Ops appended after this line are simply not part of the save.
+  Snapshot snapshot = PinSnapshot();
+  const Base& base = *snapshot.base_;
+
+  // Stale-generation guard: a directory that already holds a LATER
+  // generation of a store must not be clobbered by an earlier one (e.g. a
+  // stale handle saving over a compacted copy).
+  const fs::path generation_path = root / kGenerationFileName;
+  if (fs::exists(generation_path)) {
+    const uint64_t existing = LoadGenerationSidecar(generation_path);
+    if (existing > base.catalog.generation) {
+      throw std::runtime_error(
+          "ShardedFlatStore::Save: stale generation: directory " + dir +
+          " already holds generation " + std::to_string(existing) +
+          ", refusing to overwrite with generation " +
+          std::to_string(base.catalog.generation));
+    }
+  }
 
   std::ofstream catalog_out(root / kCatalogFileName,
                             std::ios::binary | std::ios::trunc);
@@ -283,17 +625,29 @@ void ShardedFlatStore::Save(const std::string& dir) const {
     throw std::runtime_error("ShardedFlatStore::Save: cannot open catalog " +
                              (root / kCatalogFileName).string());
   }
-  SaveShardCatalog(catalog_, catalog_out);
+  SaveShardCatalog(base.catalog, catalog_out);
 
-  for (size_t i = 0; i < files_.size(); ++i) {
-    const fs::path path = root / catalog_.shards[i].page_file_name;
+  for (size_t i = 0; i < base.files.size(); ++i) {
+    const fs::path path = root / base.catalog.shards[i].page_file_name;
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out) {
       throw std::runtime_error("ShardedFlatStore::Save: cannot open " +
                                path.string());
     }
-    SavePageFile(*files_[i], out);
+    SavePageFile(*base.files[i], out);
   }
+
+  // The overlay WAL holds the pinned window (possibly zero ops) — Load
+  // replays it, so the reloaded store answers exactly like this snapshot.
+  std::ofstream wal_out(root / kOverlayWalFileName,
+                        std::ios::binary | std::ios::trunc);
+  if (!wal_out) {
+    throw std::runtime_error("ShardedFlatStore::Save: cannot open WAL " +
+                             (root / kOverlayWalFileName).string());
+  }
+  SaveDeltaOps(state_->log, base.overlay_floor, snapshot.epoch_, wal_out);
+
+  SaveGenerationSidecar(generation_path, base.catalog.generation);
 }
 
 ShardedFlatStore ShardedFlatStore::Load(const std::string& dir,
@@ -307,27 +661,45 @@ ShardedFlatStore ShardedFlatStore::Load(const std::string& dir,
     throw std::runtime_error("ShardedFlatStore::Load: cannot open catalog " +
                              (root / kCatalogFileName).string());
   }
-  ShardedFlatStore store;
-  store.catalog_ = LoadShardCatalog(catalog_in);
+  ShardCatalog catalog = LoadShardCatalog(catalog_in);
 
-  store.files_.reserve(store.catalog_.shards.size());
-  store.indexes_.reserve(store.catalog_.shards.size());
-  for (const ShardCatalogEntry& entry : store.catalog_.shards) {
+  // Stale-catalog guard: the sidecar records the generation last saved into
+  // this directory; a catalog older than that is a restored pre-compaction
+  // file whose shard list may not match the directory's page files.
+  const fs::path generation_path = root / kGenerationFileName;
+  if (fs::exists(generation_path)) {
+    const uint64_t recorded = LoadGenerationSidecar(generation_path);
+    if (catalog.generation < recorded) {
+      throw std::runtime_error(
+          "ShardedFlatStore::Load: stale catalog: catalog generation " +
+          std::to_string(catalog.generation) +
+          " regressed behind the store directory's recorded generation " +
+          std::to_string(recorded));
+    }
+  }
+
+  ShardedFlatStore store;
+  auto base = std::make_shared<Base>();
+  base->catalog = std::move(catalog);
+
+  base->files.reserve(base->catalog.shards.size());
+  base->indexes.reserve(base->catalog.shards.size());
+  for (const ShardCatalogEntry& entry : base->catalog.shards) {
     const fs::path path = root / entry.page_file_name;
     if (backend == LoadBackend::kDisk) {
       // Serve the shard straight from the file: DiskPageFile validates the
       // header against the actual file size and maps it read-only.
-      store.files_.push_back(DiskPageFile::Open(path.string()));
+      base->files.push_back(DiskPageFile::Open(path.string()));
     } else {
       std::ifstream in(path, std::ios::binary);
       if (!in) {
         throw std::runtime_error("ShardedFlatStore::Load: cannot open " +
                                  path.string());
       }
-      store.files_.push_back(LoadPageFile(in));
+      base->files.push_back(LoadPageFile(in));
     }
-    const PageStore& file = *store.files_.back();
-    if (file.page_size() != store.catalog_.page_size) {
+    const PageStore& file = *base->files.back();
+    if (file.page_size() != base->catalog.page_size) {
       throw std::runtime_error(
           "ShardedFlatStore::Load: shard page size disagrees with catalog: " +
           path.string());
@@ -353,11 +725,32 @@ ShardedFlatStore ShardedFlatStore::Load(const std::string& dir,
             path.string());
       }
     }
-    store.indexes_.push_back(
-        FlatIndex::Attach(store.files_.back().get(), entry.descriptor));
+    base->indexes.push_back(
+        FlatIndex::Attach(base->files.back().get(), entry.descriptor));
   }
-  store.build_stats_.shards = store.indexes_.size();
-  store.build_stats_.elements = store.catalog_.total_elements;
+
+  store.build_stats_.shards = base->indexes.size();
+  store.build_stats_.elements = base->catalog.total_elements;
+  store.options_.num_shards = std::max<size_t>(1, base->catalog.shards.size());
+  store.options_.num_threads = num_threads;
+  store.options_.page_size = base->catalog.page_size;
+  store.state_->base = std::move(base);
+
+  // Replay the overlay WAL (absent in directories saved before the overlay
+  // existed): the reloaded log starts at floor 0 with exactly the window
+  // the save pinned.
+  const fs::path wal_path = root / kOverlayWalFileName;
+  if (fs::exists(wal_path)) {
+    std::ifstream wal_in(wal_path, std::ios::binary);
+    if (!wal_in) {
+      throw std::runtime_error("ShardedFlatStore::Load: cannot open WAL " +
+                               wal_path.string());
+    }
+    for (const DeltaOp& op : LoadDeltaOps(wal_in)) {
+      store.state_->log.Append(op);
+    }
+  }
+
   store.AttachEngine(num_threads);
   return store;
 }

@@ -15,9 +15,12 @@
 
 namespace flat {
 
+class OverlayView;
+
 /// A horizontally sharded FLAT store: one data set spatially partitioned into
 /// K independent FlatIndexes ("shards"), each in its own PageFile, behind a
-/// single catalog and a scatter-gather query façade.
+/// single catalog and a scatter-gather query façade — plus an LSM-style
+/// **delta overlay** that makes the bulkloaded store dynamic.
 ///
 /// Why: a single FLAT index is bounded by one PageFile and one build; the
 /// serving scenario (ROADMAP) needs data sets larger than that, bulk-built in
@@ -35,26 +38,50 @@ namespace flat {
 ///  - **Catalog.** Shard MBRs, tiles, element counts, descriptors and
 ///    PageFile names persist in a versioned ShardCatalog
 ///    (docs/file_format.md); Save/Load round-trips the whole store through a
-///    directory.
+///    directory, including the overlay WAL and the generation sidecar.
 ///  - **Query.** Range / range-count / seed-scan / sphere queries scatter to
 ///    every shard whose element bounds intersect the query, run as one
 ///    multi-index batch on the internal QueryEngine (work-stealing across all
 ///    per-shard sub-queries, cold cache per sub-query), and gather into a
 ///    canonically ordered merge.
 ///
-/// Result contract: `RangeQuery` returns ids sorted ascending. Because the
-/// shards partition the elements (each element lives in exactly one shard),
-/// the concatenation of per-shard results contains no cross-shard duplicates,
-/// and its sorted form is bit-identical to the sorted result of one unsharded
-/// FlatIndex over the same data — enforced by tests/sharded_store_test.cc.
-/// Merged IoStats are the exact per-category sum of the per-shard cold-cache
-/// executions, independent of thread count.
+/// **Delta overlay (dynamic updates).** The bulkloaded shards are immutable;
+/// Insert/Erase append to an in-memory DeltaLog instead (src/delta/). Every
+/// query runs against a *snapshot*: an immutable base (catalog + shard
+/// files) plus an OverlayView folding the log window the base has not
+/// absorbed — base ids the window touches are masked out, live overlay
+/// entries that match are merged in, all in the store's canonical ascending
+/// id order (src/core/overlay_merge.h). Insert is an upsert (re-inserting an
+/// existing id replaces its box); erasing an absent id is a no-op. The log
+/// position is the store's **epoch**: PinSnapshot captures (base, epoch) so
+/// any number of threads can query one consistent view — snapshot isolation
+/// — while a writer appends and compaction runs. `Compact` folds the window
+/// into a fresh parallel bulkload and atomically swaps the base; the
+/// compacted store's shard PageFiles are byte-identical to a fresh Build of
+/// the merged elements (enforced by tests/snapshot_isolation_test.cc).
 ///
-/// Thread-safety: Build/Load and all queries must be driven from one thread
-/// at a time (the engine parallelizes internally); batch queries via
-/// RunBatch instead of concurrent calls. The store owns its PageFiles;
-/// moving the store is safe, copying is disabled.
+/// Result contract: `RangeQuery` returns ids sorted ascending. Because the
+/// shards partition the elements (each element lives in exactly one shard)
+/// and overlay-live ids are masked out of base results before the overlay's
+/// matches are appended, the concatenation of per-shard results contains no
+/// duplicates, and its sorted form is bit-identical to the sorted result of
+/// one unsharded FlatIndex over the merged data — enforced by
+/// tests/sharded_store_test.cc and tests/delta_overlay_test.cc. Merged
+/// IoStats are the exact per-category sum of the per-shard cold-cache
+/// executions plus the snapshot's overlay probes, independent of thread
+/// count.
+///
+/// Thread-safety: store-level queries (RangeQuery .. RunBatch) must be
+/// driven from one thread at a time (the engine parallelizes internally).
+/// Insert/Erase/PinSnapshot/epoch may be called concurrently with each
+/// other, with store-level queries, and with one Compact; Snapshot query
+/// methods are fully thread-safe (const, serial, engine-free). The store
+/// owns its PageFiles; moving the store is safe, copying is disabled.
 class ShardedFlatStore {
+ private:
+  struct Base;          // one immutable bulkload: catalog + files + indexes
+  struct DynamicState;  // the swap-able base handle + the delta log
+
  public:
   struct Options {
     /// Target shard count. The STR split tiles space with roughly this many
@@ -78,25 +105,119 @@ class ShardedFlatStore {
     std::vector<FlatIndex::BuildStats> per_shard;
   };
 
+  /// Outcome of one Compact call.
+  struct CompactionStats {
+    uint64_t folded_ops = 0;      ///< log ops folded into the new base.
+    uint64_t deleted = 0;         ///< base elements masked out by the fold.
+    uint64_t inserted = 0;        ///< live overlay entries merged in.
+    uint64_t merged_elements = 0; ///< element count of the new base.
+    uint64_t generation = 0;      ///< generation of the new base.
+    double seconds = 0.0;         ///< wall time of the whole compaction.
+    BuildStats build;             ///< the rebuild's own stats.
+  };
+
+  /// A pinned, immutable view of the store at one epoch: the base the store
+  /// had when pinned plus the overlay window [base floor, epoch). Queries
+  /// against a Snapshot see exactly that state no matter how many
+  /// Insert/Erase/Compact calls land afterwards, and are bit-identical to
+  /// the store-level entry points at the same epoch. Snapshot query methods
+  /// are serial (no engine) and safe to call concurrently from any number
+  /// of threads; copying a Snapshot is cheap (shared handles). Holding a
+  /// Snapshot keeps its base (and its PageFiles) alive across compactions.
+  class Snapshot {
+   public:
+    Snapshot() = default;
+
+    /// Same contracts as the store-level counterparts, evaluated at the
+    /// pinned epoch. `io` additionally receives the overlay probe count.
+    std::vector<uint64_t> RangeQuery(const Aabb& query,
+                                     IoStats* io = nullptr) const;
+    uint64_t RangeCount(const Aabb& query, IoStats* io = nullptr) const;
+    std::vector<uint64_t> RangeQueryViaSeedScan(const Aabb& query,
+                                                IoStats* io = nullptr) const;
+    std::vector<uint64_t> SphereQuery(const Vec3& center, double radius,
+                                      IoStats* io = nullptr) const;
+
+    /// The log position this snapshot pins (number of ops it observes).
+    uint64_t epoch() const { return epoch_; }
+    /// Generation of the pinned base (0 for a default-constructed store).
+    uint64_t generation() const;
+    /// Live overlay entries merged at this snapshot (0 when none).
+    uint64_t overlay_live_count() const;
+    size_t shard_count() const;
+
+   private:
+    friend class ShardedFlatStore;
+
+    QueryResult Execute(const Query& query) const;
+
+    std::shared_ptr<const Base> base_;
+    std::shared_ptr<const OverlayView> overlay_;
+    uint64_t epoch_ = 0;
+  };
+
   /// An empty store with no shards (and no engine): every query answers
-  /// empty, mirroring an unbuilt FlatIndex. Use Build or Load for a real
-  /// store.
-  ShardedFlatStore() = default;
-  ShardedFlatStore(ShardedFlatStore&&) = default;
-  ShardedFlatStore& operator=(ShardedFlatStore&&) = default;
+  /// empty, mirroring an unbuilt FlatIndex — but Insert/Erase work, making
+  /// it a valid overlay-only store (queries answer from the overlay alone,
+  /// serially). Use Build or Load for a real bulkloaded store.
+  ShardedFlatStore();
+  ~ShardedFlatStore();
+  ShardedFlatStore(ShardedFlatStore&&);
+  ShardedFlatStore& operator=(ShardedFlatStore&&);
   ShardedFlatStore(const ShardedFlatStore&) = delete;
   ShardedFlatStore& operator=(const ShardedFlatStore&) = delete;
 
   /// Splits `elements` into shards and bulk-builds every shard's FlatIndex.
   /// `elements` is consumed. An empty input yields a store with zero shards
-  /// whose queries all return empty.
+  /// whose queries all return empty. The built store has generation 1 and an
+  /// empty overlay.
   static ShardedFlatStore Build(std::vector<RTreeEntry> elements,
                                 const Options& options,
                                 BuildStats* stats = nullptr);
 
+  /// Appends an insert to the delta overlay and returns the new epoch.
+  /// Upsert semantics: if `entry.id` already exists (in the base or the
+  /// overlay), the new box replaces the old one at this epoch.
+  uint64_t Insert(const RTreeEntry& entry);
+
+  /// Appends a delete for `id` and returns the new epoch. Deleting an id
+  /// that does not exist is a no-op on query results.
+  uint64_t Erase(uint64_t id);
+
+  /// Number of overlay ops appended so far; the epoch a PinSnapshot issued
+  /// now would observe. Monotone, never reset (compaction moves the base's
+  /// floor forward instead).
+  uint64_t epoch() const;
+
+  /// Generation of the current base: 1 after Build, +1 per Compact, 0 for a
+  /// default-constructed store (or a legacy FLATSHC1 catalog).
+  uint64_t generation() const;
+
+  /// Ops in the current overlay window (epoch() minus the base's floor) —
+  /// the amount of work the next Compact would fold.
+  uint64_t overlay_op_count() const;
+
+  /// Pins the current (base, epoch) pair. O(window) — the overlay view is
+  /// materialized here, once, so the snapshot's queries don't re-fold.
+  Snapshot PinSnapshot() const;
+
+  /// Folds the current overlay window into a fresh parallel bulkload of the
+  /// merged elements (base minus touched ids plus live overlay entries,
+  /// built with the store's own Options) and atomically swaps it in as the
+  /// new base, bumping the generation. Pinned Snapshots keep reading the
+  /// old base; the log itself is untouched — the new base's floor simply
+  /// moves past the folded window. Safe to run from a background thread
+  /// concurrently with writers, PinSnapshot and snapshot queries; one
+  /// Compact runs at a time (later callers queue on an internal mutex).
+  /// The new base's shard PageFiles are byte-identical to
+  /// Build(merged elements, options) — the hard invariant
+  /// tests/snapshot_isolation_test.cc enforces.
+  CompactionStats Compact();
+
   /// Ids of all elements whose MBR intersects `query`, sorted ascending
   /// (canonical order; see class comment). `io` (optional) receives the
-  /// per-category sum of all per-shard cold-cache reads.
+  /// per-category sum of all per-shard cold-cache reads plus overlay
+  /// probes. Evaluated at the current epoch (pins a snapshot internally).
   std::vector<uint64_t> RangeQuery(const Aabb& query,
                                    IoStats* io = nullptr) const;
 
@@ -113,10 +234,12 @@ class ShardedFlatStore {
   std::vector<uint64_t> SphereQuery(const Vec3& center, double radius,
                                     IoStats* io = nullptr) const;
 
-  /// Scatter-gather batch execution: every query fans out to its overlapping
-  /// shards, all per-shard sub-queries run as ONE multi-index engine batch
-  /// (so the work-stealing pool balances across queries and shards alike),
-  /// and per-query results are gathered in canonical sorted order.
+  /// Scatter-gather batch execution: the batch pins ONE snapshot (every
+  /// query in it sees the same epoch), every query fans out to its
+  /// overlapping shards plus — when an overlay is pinned — its overlay
+  /// buckets, all sub-queries run as ONE multi-index engine batch (so the
+  /// work-stealing pool balances across queries and shards alike), and
+  /// per-query results are gathered in canonical sorted order.
   /// Supported types: kRange, kRangeCount, kSeedScan, kSphere. kKnn throws
   /// std::invalid_argument — a global k-merge needs distance-annotated
   /// results, which the gather does not have yet.
@@ -124,8 +247,13 @@ class ShardedFlatStore {
                                     BatchStats* stats = nullptr) const;
 
   /// Persists the store into directory `dir` (created if needed): one
-  /// "shard-NNNN.pgf" PageFile per shard plus "catalog.flatshard". Existing
-  /// files with those names are overwritten.
+  /// "shard-NNNN.pgf" PageFile per shard, "catalog.flatshard", the overlay
+  /// WAL "overlay.flatwal" (the current window, possibly empty) and the
+  /// "generation.flatgen" sidecar. Existing files with those names are
+  /// overwritten — unless the directory's sidecar records a NEWER
+  /// generation than this store's, in which case Save throws
+  /// std::runtime_error ("stale generation"): a store must never clobber a
+  /// directory that already holds a later compaction of itself.
   void Save(const std::string& dir) const;
 
   /// Which storage backend a Load opens each shard's page file with.
@@ -141,35 +269,42 @@ class ShardedFlatStore {
 
   /// Reopens a store previously written by Save. `num_threads` configures
   /// the reopened store's query engine (1 = serial, 0 = hardware
-  /// concurrency). Queries behave identically to the saved store's — and
-  /// identically across backends. Throws std::runtime_error on
-  /// missing/corrupt catalog or page files.
+  /// concurrency). The overlay WAL (if present) is replayed, so queries
+  /// behave identically to the saved store's — and identically across
+  /// backends. Throws std::runtime_error on missing/corrupt catalog or page
+  /// files, and on a stale catalog: one whose generation regressed behind
+  /// the directory's "generation.flatgen" sidecar (e.g. a pre-compaction
+  /// catalog restored into a post-compaction directory).
   static ShardedFlatStore Load(const std::string& dir, size_t num_threads = 1,
                                LoadBackend backend = LoadBackend::kDisk);
 
-  size_t shard_count() const { return indexes_.size(); }
-  const ShardCatalog& catalog() const { return catalog_; }
+  size_t shard_count() const;
+  /// The current base's catalog. The reference stays valid until the next
+  /// Compact swaps the base (pin a Snapshot to hold it longer).
+  const ShardCatalog& catalog() const;
   const BuildStats& build_stats() const { return build_stats_; }
 
   /// Direct access to one shard's index and PageStore (bench/test hooks).
   /// A built store's shards are in-memory PageFiles; a loaded store's are
-  /// whatever LoadBackend was chosen.
-  const FlatIndex& shard_index(size_t shard) const { return indexes_[shard]; }
-  const PageStore& shard_file(size_t shard) const { return *files_[shard]; }
+  /// whatever LoadBackend was chosen. Same lifetime caveat as catalog().
+  const FlatIndex& shard_index(size_t shard) const;
+  const PageStore& shard_file(size_t shard) const;
 
  private:
-  /// Shard indices whose element bounds intersect `gate`, in shard order.
-  std::vector<size_t> Route(const Aabb& gate) const;
-
   /// Shared scatter-gather core for the single-query entry points.
   QueryResult RunSingle(const Query& query) const;
 
+  static std::shared_ptr<const Base> BuildBase(std::vector<RTreeEntry> elements,
+                                               const Options& options,
+                                               uint64_t generation,
+                                               uint64_t overlay_floor,
+                                               BuildStats* stats);
+
   void AttachEngine(size_t num_threads);
 
-  ShardCatalog catalog_;
-  std::vector<std::unique_ptr<PageStore>> files_;  // one per shard
-  std::vector<FlatIndex> indexes_;                 // parallel to files_
-  std::unique_ptr<QueryEngine> engine_;            // multi-index, owns pool
+  std::unique_ptr<DynamicState> state_;
+  std::unique_ptr<QueryEngine> engine_;  // multi-index, owns pool
+  Options options_;
   BuildStats build_stats_;
 };
 

@@ -21,6 +21,13 @@ namespace flat {
 /// PageStore, `hits` counts misses whose page had an outstanding hint (the
 /// prefetch did useful work), `wasted` counts hints still outstanding when
 /// the cache was cleared (pages hinted but never read).
+///
+/// Overlay probes are likewise separate: a query against a store with a
+/// delta overlay gate-tests in-memory overlay entries that live on no page,
+/// so charging them as page reads would corrupt the paper's I/O metrics.
+/// One probe = one live overlay entry tested against a query's gate; the
+/// count depends only on the snapshot's overlay contents, never on thread
+/// count or execution order.
 class IoStats {
  public:
   void RecordRead(PageCategory category) {
@@ -30,10 +37,12 @@ class IoStats {
   void RecordPrefetchIssued() { ++prefetch_issued_; }
   void RecordPrefetchHit() { ++prefetch_hits_; }
   void RecordPrefetchWasted(uint64_t count) { prefetch_wasted_ += count; }
+  void RecordOverlayProbes(uint64_t count) { overlay_probes_ += count; }
 
   uint64_t PrefetchIssued() const { return prefetch_issued_; }
   uint64_t PrefetchHits() const { return prefetch_hits_; }
   uint64_t PrefetchWasted() const { return prefetch_wasted_; }
+  uint64_t OverlayProbes() const { return overlay_probes_; }
 
   uint64_t ReadsIn(PageCategory category) const {
     return reads_[static_cast<size_t>(category)];
@@ -55,6 +64,7 @@ class IoStats {
     prefetch_issued_ = 0;
     prefetch_hits_ = 0;
     prefetch_wasted_ = 0;
+    overlay_probes_ = 0;
   }
 
   IoStats& operator+=(const IoStats& other) {
@@ -62,6 +72,7 @@ class IoStats {
     prefetch_issued_ += other.prefetch_issued_;
     prefetch_hits_ += other.prefetch_hits_;
     prefetch_wasted_ += other.prefetch_wasted_;
+    overlay_probes_ += other.overlay_probes_;
     return *this;
   }
 
@@ -74,6 +85,7 @@ class IoStats {
     delta.prefetch_issued_ = prefetch_issued_ - snapshot.prefetch_issued_;
     delta.prefetch_hits_ = prefetch_hits_ - snapshot.prefetch_hits_;
     delta.prefetch_wasted_ = prefetch_wasted_ - snapshot.prefetch_wasted_;
+    delta.overlay_probes_ = overlay_probes_ - snapshot.overlay_probes_;
     return delta;
   }
 
@@ -82,6 +94,7 @@ class IoStats {
   uint64_t prefetch_issued_ = 0;
   uint64_t prefetch_hits_ = 0;
   uint64_t prefetch_wasted_ = 0;
+  uint64_t overlay_probes_ = 0;
 };
 
 }  // namespace flat

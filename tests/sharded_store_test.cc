@@ -8,7 +8,9 @@
 
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -318,6 +320,7 @@ TEST(ShardedStoreTest, KnnIsRejected) {
 
 TEST(ShardCatalogTest, RoundTrip) {
   ShardCatalog catalog;
+  catalog.generation = 7;
   catalog.page_size = 4096;
   catalog.total_elements = 12;
   catalog.universe = Aabb(Vec3(0, 0, 0), Vec3(9, 9, 9));
@@ -336,6 +339,7 @@ TEST(ShardCatalogTest, RoundTrip) {
   SaveShardCatalog(catalog, stream);
   const ShardCatalog loaded = LoadShardCatalog(stream);
 
+  EXPECT_EQ(loaded.generation, catalog.generation);
   EXPECT_EQ(loaded.page_size, catalog.page_size);
   EXPECT_EQ(loaded.total_elements, catalog.total_elements);
   EXPECT_EQ(loaded.universe, catalog.universe);
@@ -386,6 +390,78 @@ TEST(ShardCatalogTest, RejectsGarbageTruncationAndEscapes) {
   std::stringstream inconsistent;
   SaveShardCatalog(catalog, inconsistent);
   EXPECT_THROW(LoadShardCatalog(inconsistent), std::runtime_error);
+}
+
+// A store must never clobber a directory that already holds a LATER
+// generation of itself (e.g. a stale replica re-saving over a compacted
+// primary), and a catalog that regressed behind the directory's generation
+// sidecar must be rejected at load time.
+TEST(ShardedStoreTest, StaleGenerationsAreRejected) {
+  const std::vector<RTreeEntry> entries = RandomEntries(2000, /*seed=*/55);
+  ShardedFlatStore stale =
+      ShardedFlatStore::Build(entries, {.num_shards = 2});  // generation 1
+  ShardedFlatStore fresh = ShardedFlatStore::Build(entries, {.num_shards = 2});
+  fresh.Compact();  // generation 2
+  ASSERT_GT(fresh.generation(), stale.generation());
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "flat_sharded_store_stale";
+  std::filesystem::remove_all(dir);
+  fresh.Save(dir.string());
+
+  // Save: the directory's sidecar records generation 2; writing generation 1
+  // over it must fail loudly, naming the problem.
+  try {
+    stale.Save(dir.string());
+    FAIL() << "saving a stale generation over a newer directory must throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("stale generation"),
+              std::string::npos)
+        << "actual message: " << error.what();
+  }
+
+  // Load: restore a pre-compaction catalog into the post-compaction
+  // directory (classic partial-restore mistake) — the sidecar must reject it.
+  {
+    std::ostringstream bytes;
+    ShardCatalog old_catalog = fresh.catalog();
+    old_catalog.generation = 1;
+    SaveShardCatalog(old_catalog, bytes);
+    std::ofstream out(dir / "catalog.flatshard", std::ios::binary);
+    out << bytes.str();
+  }
+  try {
+    ShardedFlatStore::Load(dir.string());
+    FAIL() << "loading a catalog older than the directory's sidecar must "
+              "throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("stale catalog"),
+              std::string::npos)
+        << "actual message: " << error.what();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// Pre-overlay stores (FLATSHC1 catalogs, no WAL, no sidecar) keep loading:
+// they come up as generation 0 with an empty overlay.
+TEST(ShardedStoreTest, LegacyDirectoryWithoutWalLoads) {
+  const std::vector<RTreeEntry> entries = RandomEntries(1500, /*seed=*/57);
+  ShardedFlatStore store = ShardedFlatStore::Build(entries, {.num_shards = 2});
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "flat_sharded_store_legacy";
+  std::filesystem::remove_all(dir);
+  store.Save(dir.string());
+  // Simulate a pre-overlay directory by dropping the new artifacts.
+  std::filesystem::remove(dir / "overlay.flatwal");
+  std::filesystem::remove(dir / "generation.flatgen");
+
+  ShardedFlatStore loaded = ShardedFlatStore::Load(dir.string());
+  EXPECT_EQ(loaded.overlay_op_count(), 0u);
+  for (const Aabb& query : RandomQueries(10, /*seed=*/58)) {
+    EXPECT_EQ(loaded.RangeQuery(query), store.RangeQuery(query));
+  }
+  std::filesystem::remove_all(dir);
 }
 
 // The engine-level multi-index primitive behind the store: one batch mixing
