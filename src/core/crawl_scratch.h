@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "core/metadata.h"
+#include "core/query_control.h"
 #include "geometry/box_kernels.h"
+#include "storage/io_stats.h"
 
 namespace flat {
 
@@ -92,6 +94,26 @@ class CrawlScratch {
   /// Soa() so a descent over mixed-format levels never thrashes one buffer.
   QuantizedSoa& QuantizedLanes() { return quantized_; }
 
+  /// Binds the fail-soft control the query loops check at their cancellation
+  /// points, and the IoStats the executing query charges reads to (for the
+  /// budget check). Bound by the dispatch layer for the duration of one
+  /// query; BindControl(nullptr, nullptr) unbinds. Reset() deliberately
+  /// leaves the binding alone — a query runs many Reset()s (seed probes,
+  /// kNN radius doubling) under one control.
+  void BindControl(const QueryControl* control, const IoStats* io) {
+    control_ = control;
+    control_io_ = io;
+  }
+
+  /// Cancellation point: throws QueryAbort when the bound control's cancel
+  /// token, group, deadline, or I/O budget tripped. With no control bound
+  /// (the default) this is a single always-taken predictable branch, so the
+  /// seed/crawl hot loops stay bit-identical and effectively free of cost
+  /// for uncontrolled queries.
+  void CheckControl() const {
+    if (control_ != nullptr) ThrowIfStopped(*control_, control_io_);
+  }
+
  private:
   struct Slot {
     uint64_t key = 0;
@@ -143,6 +165,8 @@ class CrawlScratch {
   std::vector<uint8_t> hits_;
   SoaBoxes soa_;
   QuantizedSoa quantized_;
+  const QueryControl* control_ = nullptr;  // null = uncontrolled (hot path)
+  const IoStats* control_io_ = nullptr;
 };
 
 }  // namespace flat

@@ -301,6 +301,9 @@ std::optional<RecordRef> FlatIndex::SeedWhere(PageCache* pool,
   CrawlScratch* s = scratch != nullptr ? scratch : &throwaway.emplace();
   std::vector<Frame> stack = {{seed_root_, root_is_leaf_}};
   while (!stack.empty()) {
+    // Cancellation point: one pop reads at most one node page before the
+    // next check (plus per-record probes below, each checked too).
+    s->CheckControl();
     const Frame frame = stack.back();
     stack.pop_back();
     if (frame.is_leaf) {
@@ -308,6 +311,7 @@ std::optional<RecordRef> FlatIndex::SeedWhere(PageCache* pool,
       for (uint16_t slot = 0; slot < leaf.count(); ++slot) {
         MetadataRecordView record = leaf.RecordAt(slot);
         if (!record.page_mbr().Intersects(gate)) continue;
+        s->CheckControl();  // each probe below reads one object page
         if (ProbeRecord(pool, record, accept)) {
           return RecordRef{frame.page, slot};
         }
@@ -349,6 +353,10 @@ void FlatIndex::CrawlPages(PageCache* pool, const Aabb& gate_box,
 
   RecordRef ref;
   while (s->Pop(&ref)) {
+    // Cancellation point, once per BFS frontier pop: a pop reads at most two
+    // pages (the seed leaf + possibly the object page), so a tripped
+    // deadline/cancel/budget stops the crawl within one frontier step.
+    s->CheckControl();
     SeedLeafView leaf(pool->Read(ref.page));
     MetadataRecordView record = leaf.RecordAt(ref.slot);
 
@@ -588,16 +596,21 @@ void FlatIndex::SphereQuery(PageCache* pool, const Vec3& center,
 }
 
 void FlatIndex::RangeQueryViaSeedScan(PageCache* pool, const Aabb& query,
-                                      std::vector<uint64_t>* out) const {
+                                      std::vector<uint64_t>* out,
+                                      CrawlScratch* scratch) const {
   if (empty() || query.IsEmpty()) return;
   struct Frame {
     PageId page;
     bool is_leaf;
   };
   std::vector<uint8_t> hits;  // reused across object pages
-  CrawlScratch scratch;       // buffers for the internal-node gates
+  // Caller scratch (control-aware, allocation-free across queries) or a
+  // throwaway for the internal-node gate buffers.
+  std::optional<CrawlScratch> throwaway;
+  CrawlScratch* s = scratch != nullptr ? scratch : &throwaway.emplace();
   std::vector<Frame> stack = {{seed_root_, root_is_leaf_}};
   while (!stack.empty()) {
+    s->CheckControl();  // cancellation point, once per tree-node pop
     const Frame frame = stack.back();
     stack.pop_back();
     if (frame.is_leaf) {
@@ -605,6 +618,7 @@ void FlatIndex::RangeQueryViaSeedScan(PageCache* pool, const Aabb& query,
       for (uint16_t slot = 0; slot < leaf.count(); ++slot) {
         MetadataRecordView record = leaf.RecordAt(slot);
         if (!record.page_mbr().Intersects(query)) continue;
+        s->CheckControl();  // each candidate record reads one object page
         const char* page = pool->Read(record.object_page());
         NodeView elements(page);
         const uint16_t n = elements.count();
@@ -627,7 +641,7 @@ void FlatIndex::RangeQueryViaSeedScan(PageCache* pool, const Aabb& query,
       }
       continue;
     }
-    const InternalNodeGate gated(pool->Read(frame.page), query, &scratch);
+    const InternalNodeGate gated(pool->Read(frame.page), query, s);
     const bool children_are_leaves = gated.level() == 1;
     for (uint16_t i = 0; i < gated.count(); ++i) {
       if (gated.Hit(i)) {

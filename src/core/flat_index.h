@@ -40,6 +40,16 @@ namespace flat {
 /// uses its own PageCache (and its own CrawlScratch, when passed). That is
 /// exactly how the QueryEngine parallelizes batches. Build/Attach/move must
 /// not race with queries on the same object.
+///
+/// Fail-soft execution: when the caller's CrawlScratch has a QueryControl
+/// bound (CrawlScratch::BindControl — the QueryEngine dispatch layer does
+/// this), the seed descent and the crawl BFS check it once per frontier pop
+/// and per object-page probe, throwing QueryAbort with the typed status when
+/// a deadline/cancel/budget trips. With no control bound the checks are one
+/// predictable branch each and results are bit-identical to builds that
+/// predate them. The storage backend may also throw std::runtime_error on
+/// unrecoverable I/O failure; the dispatch layer converts either into
+/// QueryResult::status (core/query_control.h, engine/query_engine.h).
 class FlatIndex {
  public:
   /// Timing and layout information captured during Build, matching the
@@ -218,7 +228,8 @@ class FlatIndex {
   /// neighbor pointers. Charged through `pool` like RangeQuery, so
   /// `bench_ablation_seed_strategy` can compare the two execution plans.
   void RangeQueryViaSeedScan(PageCache* pool, const Aabb& query,
-                             std::vector<uint64_t>* out) const;
+                             std::vector<uint64_t>* out,
+                             CrawlScratch* scratch = nullptr) const;
 
   /// Timings and layout figures of the Build that produced this index
   /// (zeroed for attached indexes — they are not persisted).

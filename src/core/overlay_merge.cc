@@ -17,6 +17,7 @@ uint64_t GateBucket(const std::vector<RTreeEntry>& bucket, const Aabb& query,
   std::vector<uint8_t> local_hits;
   uint8_t* hits;
   if (scratch != nullptr) {
+    scratch->CheckControl();  // cancellation point, once per bucket scan
     hits = scratch->Hits(bucket.size());
   } else {
     local_hits.resize(bucket.size());
@@ -56,7 +57,9 @@ uint64_t CountOverlayRangeMatches(const OverlayView& view, size_t bucket,
 
 uint64_t AppendOverlaySphereMatches(const OverlayView& view, size_t bucket,
                                     const Vec3& center, double radius,
-                                    std::vector<uint64_t>* out) {
+                                    std::vector<uint64_t>* out,
+                                    CrawlScratch* scratch) {
+  if (scratch != nullptr) scratch->CheckControl();
   const std::vector<RTreeEntry>& entries = view.bucket(bucket);
   for (const RTreeEntry& e : entries) {
     if (e.box.IntersectsSphere(center, radius)) out->push_back(e.id);

@@ -24,6 +24,11 @@ class CrawlScratch;
 /// the caller charges to IoStats::RecordOverlayProbes. Probe counts depend
 /// only on the snapshot's bucket sizes, never on thread count or execution
 /// order, so merged IoStats stay deterministic.
+///
+/// When `scratch` carries a bound QueryControl, each bucket scan runs one
+/// cancellation check up front (CrawlScratch::CheckControl) — overlay scans
+/// are in-memory and short, so per-bucket granularity keeps overlay-merged
+/// queries responsive to deadlines/cancellation without per-entry cost.
 
 /// Removes every id the overlay masks (deleted or re-inserted ids) from
 /// `ids`, preserving the relative order of the survivors. Base results must
@@ -51,7 +56,8 @@ uint64_t CountOverlayRangeMatches(const OverlayView& view, size_t bucket,
 /// the element filter of FlatIndex::SphereQuery).
 uint64_t AppendOverlaySphereMatches(const OverlayView& view, size_t bucket,
                                     const Vec3& center, double radius,
-                                    std::vector<uint64_t>* out);
+                                    std::vector<uint64_t>* out,
+                                    CrawlScratch* scratch = nullptr);
 
 }  // namespace flat
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <optional>
 #include <stdexcept>
 
 #include "core/overlay_merge.h"
@@ -10,6 +11,52 @@
 #include "storage/buffer_pool.h"
 
 namespace flat {
+namespace {
+
+// Binds a query's control (and the IoStats its budget meters) to the
+// executing scratch for the duration of one dispatch, unbinding on every
+// exit path — the scratch is reused by the worker's next query, which may
+// carry no control at all.
+class ScratchControlGuard {
+ public:
+  ScratchControlGuard(CrawlScratch* scratch, const QueryControl* control,
+                      const IoStats* io)
+      : scratch_(control != nullptr ? scratch : nullptr) {
+    if (scratch_ != nullptr) scratch_->BindControl(control, io);
+  }
+  ~ScratchControlGuard() {
+    if (scratch_ != nullptr) scratch_->BindControl(nullptr, nullptr);
+  }
+
+  ScratchControlGuard(const ScratchControlGuard&) = delete;
+  ScratchControlGuard& operator=(const ScratchControlGuard&) = delete;
+
+ private:
+  CrawlScratch* scratch_;
+};
+
+// Turns an escaped execution exception into the query's typed fail-soft
+// outcome: QueryAbort carries its own status; anything else is an I/O
+// failure (the storage backends throw std::runtime_error once their retry
+// budget is exhausted). std::logic_error — API misuse, e.g. kKnn over an
+// overlay — is NOT absorbed; the caller rethrows it. The partial ids
+// gathered so far remain valid; kRangeCount partials are withheld (a
+// partial tally is indistinguishable from a full one).
+void SettleFailedResult(const Query& query, QueryResult* result) {
+  if (query.type == Query::Type::kRangeCount) {
+    result->ids.clear();
+    result->count = 0;
+  } else {
+    result->count = result->ids.size();
+  }
+}
+
+void DispatchQueryWithOverlayImpl(const FlatIndex* index, const Query& query,
+                                  PageCache* cache, const OverlayView* overlay,
+                                  size_t overlay_bucket, QueryResult* result,
+                                  CrawlScratch* scratch);
+
+}  // namespace
 
 QueryEngine::QueryEngine(const FlatIndex* index, Options options)
     : index_(index), options_(options), pool_(options.threads) {
@@ -46,17 +93,31 @@ std::vector<QueryResult> QueryEngine::RunMulti(
   const auto start = std::chrono::steady_clock::now();
   std::vector<QueryResult> results(batch.size());
 
-  if (!batch.empty()) {
-    // Block-partition the batch: contiguous runs keep neighboring queries —
-    // which workloads tend to generate with spatial locality — on one
-    // worker; stealing rebalances the tail.
+  // Admission control: shed the batch tail beyond the configured queue
+  // bound before any work is enqueued. Shed queries cost no I/O and come
+  // back immediately as kRejected — a typed outcome the caller can retry,
+  // not an error.
+  size_t admitted = batch.size();
+  if (options_.max_queued_queries > 0 &&
+      batch.size() > options_.max_queued_queries) {
+    admitted = options_.max_queued_queries;
+    for (size_t i = admitted; i < batch.size(); ++i) {
+      results[i].status = QueryStatus::kRejected;
+      results[i].io.RecordQueryShed();
+    }
+  }
+
+  if (admitted > 0) {
+    // Block-partition the admitted prefix: contiguous runs keep neighboring
+    // queries — which workloads tend to generate with spatial locality — on
+    // one worker; stealing rebalances the tail.
     const size_t threads = pool_.threads();
-    const size_t per_worker = (batch.size() + threads - 1) / threads;
+    const size_t per_worker = (admitted + threads - 1) / threads;
     for (size_t w = 0; w < threads; ++w) {
       std::lock_guard<std::mutex> lock(queues_[w]->mu);
       queues_[w]->items.clear();
-      const size_t first = std::min(batch.size(), w * per_worker);
-      const size_t last = std::min(batch.size(), first + per_worker);
+      const size_t first = std::min(admitted, w * per_worker);
+      const size_t last = std::min(admitted, first + per_worker);
       for (size_t i = first; i < last; ++i) queues_[w]->items.push_back(i);
     }
 
@@ -87,6 +148,13 @@ std::vector<QueryResult> QueryEngine::RunMulti(
     for (const QueryResult& r : results) {
       stats->io += r.io;
       stats->result_elements += r.count;
+      if (r.status == QueryStatus::kOk) {
+        ++stats->queries_ok;
+      } else if (r.status == QueryStatus::kRejected) {
+        ++stats->queries_shed;
+      } else {
+        ++stats->queries_failed;
+      }
     }
     stats->wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -126,9 +194,11 @@ bool QueryEngine::Steal(size_t worker_index, size_t* query_index) {
   return false;
 }
 
-void DispatchQuery(const FlatIndex& index, const Query& query,
-                   PageCache* cache, QueryResult* result,
-                   CrawlScratch* scratch) {
+namespace {
+
+void DispatchQueryImpl(const FlatIndex& index, const Query& query,
+                       PageCache* cache, QueryResult* result,
+                       CrawlScratch* scratch) {
   switch (query.type) {
     case Query::Type::kRange:
       index.RangeQuery(cache, query.box, &result->ids, scratch, query.guard);
@@ -138,7 +208,7 @@ void DispatchQuery(const FlatIndex& index, const Query& query,
       result->count = index.RangeCount(cache, query.box, scratch);
       break;
     case Query::Type::kSeedScan:
-      index.RangeQueryViaSeedScan(cache, query.box, &result->ids);
+      index.RangeQueryViaSeedScan(cache, query.box, &result->ids, scratch);
       result->count = result->ids.size();
       break;
     case Query::Type::kKnn:
@@ -153,6 +223,34 @@ void DispatchQuery(const FlatIndex& index, const Query& query,
   }
 }
 
+}  // namespace
+
+void DispatchQuery(const FlatIndex& index, const Query& query,
+                   PageCache* cache, QueryResult* result,
+                   CrawlScratch* scratch) {
+  // A controlled query needs a scratch to carry its control binding into
+  // the traversal's cancellation points; materialize a throwaway if the
+  // caller brought none. Uncontrolled queries skip all of this.
+  std::optional<CrawlScratch> throwaway;
+  if (query.control != nullptr && scratch == nullptr) {
+    scratch = &throwaway.emplace();
+  }
+  ScratchControlGuard guard(scratch, query.control, &result->io);
+  try {
+    DispatchQueryImpl(index, query, cache, result, scratch);
+  } catch (const QueryAbort& abort) {
+    result->status = abort.status();
+    SettleFailedResult(query, result);
+  } catch (const std::logic_error&) {
+    throw;  // API misuse stays loud
+  } catch (const std::exception& e) {
+    result->status = QueryStatus::kIoError;
+    result->error = e.what();
+    result->io.RecordIoError();
+    SettleFailedResult(query, result);
+  }
+}
+
 void DispatchQueryWithOverlay(const FlatIndex* index, const Query& query,
                               PageCache* cache, const OverlayView* overlay,
                               size_t overlay_bucket, QueryResult* result,
@@ -163,6 +261,33 @@ void DispatchQueryWithOverlay(const FlatIndex* index, const Query& query,
     }
     return;
   }
+  std::optional<CrawlScratch> throwaway;
+  if (query.control != nullptr && scratch == nullptr) {
+    scratch = &throwaway.emplace();
+  }
+  ScratchControlGuard guard(scratch, query.control, &result->io);
+  try {
+    DispatchQueryWithOverlayImpl(index, query, cache, overlay, overlay_bucket,
+                                 result, scratch);
+  } catch (const QueryAbort& abort) {
+    result->status = abort.status();
+    SettleFailedResult(query, result);
+  } catch (const std::logic_error&) {
+    throw;  // kKnn-over-overlay and friends stay loud
+  } catch (const std::exception& e) {
+    result->status = QueryStatus::kIoError;
+    result->error = e.what();
+    result->io.RecordIoError();
+    SettleFailedResult(query, result);
+  }
+}
+
+namespace {
+
+void DispatchQueryWithOverlayImpl(const FlatIndex* index, const Query& query,
+                                  PageCache* cache, const OverlayView* overlay,
+                                  size_t overlay_bucket, QueryResult* result,
+                                  CrawlScratch* scratch) {
   const bool has_index = index != nullptr && index->file() != nullptr;
   uint64_t probes = 0;
   switch (query.type) {
@@ -205,7 +330,7 @@ void DispatchQueryWithOverlay(const FlatIndex* index, const Query& query,
       }
       probes = AppendOverlaySphereMatches(*overlay, overlay_bucket,
                                           query.center, query.radius,
-                                          &result->ids);
+                                          &result->ids, scratch);
       result->count = result->ids.size();
       break;
     case Query::Type::kKnn:
@@ -215,6 +340,8 @@ void DispatchQueryWithOverlay(const FlatIndex* index, const Query& query,
   }
   result->io.RecordOverlayProbes(probes);
 }
+
+}  // namespace
 
 void QueryEngine::ExecuteQuery(const Job& job, const IndexedQuery& iq,
                                QueryResult* result, WorkerState* state) {
@@ -227,37 +354,46 @@ void QueryEngine::ExecuteQuery(const Job& job, const IndexedQuery& iq,
       DispatchQueryWithOverlay(nullptr, iq.query, nullptr, iq.overlay,
                                iq.overlay_bucket, result, &state->scratch);
     }
-    return;
-  }
-  const int prefetch_depth = iq.query.prefetch_depth >= 0
-                                 ? iq.query.prefetch_depth
-                                 : options_.prefetch_depth;
-  if (job.shared_caches != nullptr) {
+  } else if (job.shared_caches != nullptr) {
     auto it = job.shared_caches->find(iq.index->file());
     assert(it != job.shared_caches->end());
+    const int prefetch_depth = iq.query.prefetch_depth >= 0
+                                   ? iq.query.prefetch_depth
+                                   : options_.prefetch_depth;
     StripedBufferPool::Session session(it->second.get(), &result->io,
                                        prefetch_depth);
     DispatchQueryWithOverlay(iq.index, iq.query, &session, iq.overlay,
                              iq.overlay_bucket, result, &state->scratch);
-    return;
-  }
-  // Cold-per-query mode: recycle the worker's pool — Clear() is an O(1)
-  // epoch bump, so this is exactly as cold as a fresh pool (identical
-  // IoStats) without rebuilding the page table per query. Clear() runs
-  // before set_stats(), so hints left pending are charged as wasted to the
-  // query that issued them.
-  BufferPool* pool = state->pool.get();
-  if (pool == nullptr || &pool->store() != iq.index->file()) {
-    state->pool = std::make_unique<BufferPool>(iq.index->file(), &result->io,
-                                               options_.pool_pages);
-    pool = state->pool.get();
   } else {
-    pool->Clear();
-    pool->set_stats(&result->io);
+    // Cold-per-query mode: recycle the worker's pool — Clear() is an O(1)
+    // epoch bump, so this is exactly as cold as a fresh pool (identical
+    // IoStats) without rebuilding the page table per query. Clear() runs
+    // before set_stats(), so hints left pending are charged as wasted to the
+    // query that issued them.
+    const int prefetch_depth = iq.query.prefetch_depth >= 0
+                                   ? iq.query.prefetch_depth
+                                   : options_.prefetch_depth;
+    BufferPool* pool = state->pool.get();
+    if (pool == nullptr || &pool->store() != iq.index->file()) {
+      state->pool = std::make_unique<BufferPool>(iq.index->file(), &result->io,
+                                                 options_.pool_pages);
+      pool = state->pool.get();
+    } else {
+      pool->Clear();
+      pool->set_stats(&result->io);
+    }
+    pool->set_prefetch_depth(prefetch_depth);
+    DispatchQueryWithOverlay(iq.index, iq.query, pool, iq.overlay,
+                             iq.overlay_bucket, result, &state->scratch);
   }
-  pool->set_prefetch_depth(prefetch_depth);
-  DispatchQueryWithOverlay(iq.index, iq.query, pool, iq.overlay,
-                           iq.overlay_bucket, result, &state->scratch);
+  // A failing sub-query poisons its group (if any) so scattered siblings of
+  // the same logical query observe the cancellation at their next
+  // cancellation point instead of running to completion for a result that
+  // will be discarded.
+  if (result->status != QueryStatus::kOk && iq.query.control != nullptr &&
+      iq.query.control->group != nullptr) {
+    iq.query.control->group->SignalFailure(result->status);
+  }
 }
 
 }  // namespace flat

@@ -5,11 +5,13 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/crawl_scratch.h"
 #include "core/flat_index.h"
+#include "core/query_control.h"
 #include "geometry/aabb.h"
 #include "parallel/thread_pool.h"
 #include "storage/buffer_pool.h"
@@ -41,6 +43,11 @@ struct Query {
   /// changes results or logical IoStats read counts — only wall-clock on a
   /// disk-backed store and the prefetch counters.
   int prefetch_depth = -1;
+  /// Optional fail-soft controls (deadline, cancel token, I/O budget; see
+  /// core/query_control.h). Must outlive the batch. Null (default) runs the
+  /// query to completion with zero overhead on the hot path — results and
+  /// IoStats stay bit-identical to an uncontrolled run.
+  const QueryControl* control = nullptr;
 
   static Query Range(
       const Aabb& box,
@@ -92,10 +99,22 @@ struct Query {
 /// what the serial FlatIndex call produces) plus the query's own I/O
 /// breakdown. For kRangeCount queries `ids` stays empty and `count` carries
 /// the tally; for every other type `count == ids.size()`.
+///
+/// `status` reports the fail-soft outcome: kOk means the full, exact result;
+/// any other status means the query stopped early (deadline, cancellation,
+/// budget, I/O failure, admission shed) and `ids` holds the matches gathered
+/// up to the stop point — a valid partial result, never torn, with
+/// `count == ids.size()` still holding (kRangeCount partials report 0: a
+/// partial count is indistinguishable from a full one, so it is withheld).
 struct QueryResult {
   std::vector<uint64_t> ids;
   uint64_t count = 0;
   IoStats io;
+  QueryStatus status = QueryStatus::kOk;
+  /// Human-readable detail for kIoError (the underlying exception's what()).
+  std::string error;
+
+  bool ok() const { return status == QueryStatus::kOk; }
 };
 
 class OverlayView;
@@ -153,6 +172,12 @@ struct BatchStats {
   uint64_t result_elements = 0;
   double wall_seconds = 0.0;
   size_t threads = 0;
+  /// Fail-soft outcome tally: queries that completed exactly, queries that
+  /// stopped early with a typed status (excluding sheds), and queries shed
+  /// by admission control (kRejected).
+  uint64_t queries_ok = 0;
+  uint64_t queries_failed = 0;
+  uint64_t queries_shed = 0;
 };
 
 /// Parallel batch query engine.
@@ -206,6 +231,12 @@ class QueryEngine {
     /// (default) turns prefetching off; useful values are a few dozen on a
     /// disk-backed store (see docs/benchmarks.md).
     int prefetch_depth = 0;
+    /// Admission control: when non-zero, at most this many queries of a
+    /// batch are admitted; the excess (batch tail, in order) comes back
+    /// immediately with status kRejected and no I/O, and is counted in
+    /// BatchStats::queries_shed / IoStats::QueriesShed. 0 (default) admits
+    /// everything.
+    size_t max_queued_queries = 0;
   };
 
   /// Engine bound to one index; `Run(vector<Query>)` targets it.

@@ -25,13 +25,23 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::RunOnAllWorkers(const std::function<void(size_t)>& fn) {
-  std::unique_lock<std::mutex> lock(mu_);
-  task_ = &fn;
-  active_workers_ = workers_.size();
-  ++generation_;
-  work_cv_.notify_all();
-  done_cv_.wait(lock, [this] { return active_workers_ == 0; });
-  task_ = nullptr;
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    task_ = &fn;
+    task_error_ = nullptr;
+    active_workers_ = workers_.size();
+    ++generation_;
+    work_cv_.notify_all();
+    done_cv_.wait(lock, [this] { return active_workers_ == 0; });
+    task_ = nullptr;
+    error = task_error_;
+    task_error_ = nullptr;
+  }
+  // Rethrow the first worker exception on the dispatching thread, after the
+  // barrier: every worker has finished, so the pool stays consistent and
+  // reusable.
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 void ThreadPool::WorkerLoop(size_t worker) {
@@ -47,9 +57,15 @@ void ThreadPool::WorkerLoop(size_t worker) {
       seen_generation = generation_;
       task = task_;
     }
-    (*task)(worker);
+    std::exception_ptr error;
+    try {
+      (*task)(worker);
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (error != nullptr && task_error_ == nullptr) task_error_ = error;
       if (--active_workers_ == 0) done_cv_.notify_all();
     }
   }

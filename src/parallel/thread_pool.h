@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -29,7 +30,12 @@ namespace flat {
 ///  - A dispatch forms a synchronization barrier: everything the workers
 ///    wrote before returning from `fn` happens-before the dispatching
 ///    thread's return from RunOnAllWorkers/ParallelFor.
-///  - Callbacks must not throw; an exception escaping a worker terminates.
+///  - Callbacks may throw: each worker catches the exception, and the first
+///    one caught (by completion order) is rethrown on the dispatching thread
+///    after the barrier — never std::terminate. Other workers still run
+///    their callbacks to completion, so a ParallelFor that throws has
+///    processed an unspecified subset of the remaining indices. The pool
+///    stays usable for further dispatches.
 ///  - threads() is safe from any thread; construction and destruction must
 ///    not race with a dispatch.
 class ThreadPool {
@@ -69,6 +75,7 @@ class ThreadPool {
   size_t active_workers_ = 0;
   bool shutdown_ = false;
   const std::function<void(size_t)>* task_ = nullptr;
+  std::exception_ptr task_error_;  // first exception of the current dispatch
 };
 
 /// nullptr-tolerant helper: a null pool means "run serially on the calling

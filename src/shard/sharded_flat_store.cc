@@ -72,18 +72,47 @@ Aabb QueryGate(const Query& query) {
 // every overlay-touched id out of base results before appending overlay
 // matches — so the sorted merge is exactly the sorted result of an
 // unsharded index over the merged data.
+//
+// Fail-soft: if any sub-query stopped early, the merged result carries a
+// non-kOk status — the group's originating status when `group` is set
+// (siblings cancelled BY the group report kCancelled, which would otherwise
+// mask the real cause), else the first non-kOk sub in scatter order. The
+// partial ids of failed subs are still merged: a partial union, sorted, is
+// a valid partial result. A non-kOk merged kRangeCount reports 0 (a partial
+// tally is indistinguishable from a full one).
 void GatherSubResults(std::vector<QueryResult>* sub_results, size_t first,
-                      size_t count, Query::Type type, QueryResult* out) {
+                      size_t count, Query::Type type, const QueryGroup* group,
+                      QueryResult* out) {
   for (size_t s = 0; s < count; ++s) {
     const QueryResult& sub = (*sub_results)[first + s];
     out->io += sub.io;
+    if (out->status == QueryStatus::kOk && sub.status != QueryStatus::kOk) {
+      out->status = sub.status;
+      out->error = sub.error;
+    }
     if (type == Query::Type::kRangeCount) {
       out->count += sub.count;
     } else {
       out->ids.insert(out->ids.end(), sub.ids.begin(), sub.ids.end());
     }
   }
-  if (type != Query::Type::kRangeCount) {
+  if (group != nullptr && group->status() != QueryStatus::kOk) {
+    out->status = group->status();
+    if (out->error.empty()) {
+      // Recover the originating sub's detail (the scatter-order-first
+      // non-kOk sub may be a cancelled sibling with no error text).
+      for (size_t s = 0; s < count; ++s) {
+        const QueryResult& sub = (*sub_results)[first + s];
+        if (sub.status == out->status && !sub.error.empty()) {
+          out->error = sub.error;
+          break;
+        }
+      }
+    }
+  }
+  if (type == Query::Type::kRangeCount) {
+    if (out->status != QueryStatus::kOk) out->count = 0;
+  } else {
     std::sort(out->ids.begin(), out->ids.end());
     out->count = out->ids.size();
   }
@@ -186,6 +215,32 @@ size_t AppendScatter(const ShardCatalog& catalog,
     ++count;
   }
   return count;
+}
+
+/// Per-query shared cancellation state for a scattered query whose caller
+/// supplied a control without a group. Heap-allocated so the control/group
+/// addresses the sub-queries capture stay stable for the batch's lifetime.
+struct ControlBlock {
+  QueryControl control;
+  QueryGroup group;
+};
+
+/// If `query` carries a control without a group, clones the control into a
+/// fresh ControlBlock wired to its own QueryGroup — so one failing scattered
+/// sibling cancels the others — and repoints the query at the clone.
+/// Returns the group the gather should consult (the caller's own, the
+/// block's, or null for an uncontrolled query).
+const QueryGroup* WireControlGroup(
+    Query* query, std::vector<std::unique_ptr<ControlBlock>>* blocks) {
+  if (query->control == nullptr) return nullptr;
+  if (query->control->group != nullptr) return query->control->group;
+  auto block = std::make_unique<ControlBlock>();
+  block->control = *query->control;
+  block->control.group = &block->group;
+  query->control = &block->control;
+  const QueryGroup* group = &block->group;
+  blocks->push_back(std::move(block));
+  return group;
 }
 
 }  // namespace
@@ -421,11 +476,15 @@ QueryResult ShardedFlatStore::RunSingle(const Query& query) const {
   // for a store that has only seen inserts).
   if (engine_ == nullptr) return snapshot.Execute(query);
   std::vector<IndexedQuery> scatter;
+  std::vector<std::unique_ptr<ControlBlock>> blocks;
+  Query wired = query;
+  const QueryGroup* group = WireControlGroup(&wired, &blocks);
   AppendScatter(snapshot.base_->catalog, snapshot.base_->indexes,
-                snapshot.overlay_.get(), query, &scatter);
+                snapshot.overlay_.get(), wired, &scatter);
   std::vector<QueryResult> sub_results = engine_->RunMulti(scatter);
   QueryResult result;
-  GatherSubResults(&sub_results, 0, sub_results.size(), query.type, &result);
+  GatherSubResults(&sub_results, 0, sub_results.size(), query.type, group,
+                   &result);
   return result;
 }
 
@@ -481,11 +540,15 @@ std::vector<QueryResult> ShardedFlatStore::RunBatch(
       size_t count = 0;
     };
     std::vector<Span> spans(batch.size());
+    std::vector<std::unique_ptr<ControlBlock>> blocks;
+    std::vector<const QueryGroup*> groups(batch.size(), nullptr);
     for (size_t i = 0; i < batch.size(); ++i) {
       spans[i].first = scatter.size();
+      Query wired = batch[i];
+      groups[i] = WireControlGroup(&wired, &blocks);
       spans[i].count =
           AppendScatter(snapshot.base_->catalog, snapshot.base_->indexes,
-                        snapshot.overlay_.get(), batch[i], &scatter);
+                        snapshot.overlay_.get(), wired, &scatter);
     }
 
     std::vector<QueryResult> sub_results = engine_->RunMulti(scatter);
@@ -493,7 +556,7 @@ std::vector<QueryResult> ShardedFlatStore::RunBatch(
     // Gather: per original query, merge its shards' sub-results.
     for (size_t i = 0; i < batch.size(); ++i) {
       GatherSubResults(&sub_results, spans[i].first, spans[i].count,
-                       batch[i].type, &results[i]);
+                       batch[i].type, groups[i], &results[i]);
     }
   }
 
@@ -503,6 +566,13 @@ std::vector<QueryResult> ShardedFlatStore::RunBatch(
     for (const QueryResult& r : results) {
       stats->io += r.io;
       stats->result_elements += r.count;
+      if (r.status == QueryStatus::kOk) {
+        ++stats->queries_ok;
+      } else if (r.status == QueryStatus::kRejected) {
+        ++stats->queries_shed;
+      } else {
+        ++stats->queries_failed;
+      }
     }
     stats->wall_seconds = SecondsSince(start);
   }
@@ -517,8 +587,16 @@ QueryResult ShardedFlatStore::Snapshot::Execute(const Query& query) const {
                 &scatter);
   std::vector<QueryResult> sub_results(scatter.size());
   CrawlScratch scratch;
+  QueryStatus failed = QueryStatus::kOk;
   for (size_t i = 0; i < scatter.size(); ++i) {
     const IndexedQuery& iq = scatter[i];
+    if (failed != QueryStatus::kOk) {
+      // Serial analogue of the engine's group cancellation: once one
+      // sub-query stops early, its siblings are not worth running — the
+      // merged result is already partial.
+      sub_results[i].status = QueryStatus::kCancelled;
+      continue;
+    }
     if (iq.index != nullptr && iq.index->file() != nullptr) {
       // Cold cache per sub-query, exactly like the engine's default mode —
       // the snapshot path's IoStats match the store-level entry points'.
@@ -529,8 +607,10 @@ QueryResult ShardedFlatStore::Snapshot::Execute(const Query& query) const {
       DispatchQueryWithOverlay(nullptr, iq.query, nullptr, iq.overlay,
                                iq.overlay_bucket, &sub_results[i], &scratch);
     }
+    failed = sub_results[i].status;
   }
-  GatherSubResults(&sub_results, 0, sub_results.size(), query.type, &result);
+  GatherSubResults(&sub_results, 0, sub_results.size(), query.type,
+                   /*group=*/nullptr, &result);
   return result;
 }
 
@@ -650,9 +730,9 @@ void ShardedFlatStore::Save(const std::string& dir) const {
   SaveGenerationSidecar(generation_path, base.catalog.generation);
 }
 
-ShardedFlatStore ShardedFlatStore::Load(const std::string& dir,
-                                        size_t num_threads,
-                                        LoadBackend backend) {
+ShardedFlatStore ShardedFlatStore::Load(
+    const std::string& dir, size_t num_threads, LoadBackend backend,
+    const DiskPageFile::Options* disk_options) {
   namespace fs = std::filesystem;
   const fs::path root(dir);
 
@@ -689,7 +769,10 @@ ShardedFlatStore ShardedFlatStore::Load(const std::string& dir,
     if (backend == LoadBackend::kDisk) {
       // Serve the shard straight from the file: DiskPageFile validates the
       // header against the actual file size and maps it read-only.
-      base->files.push_back(DiskPageFile::Open(path.string()));
+      base->files.push_back(disk_options != nullptr
+                                ? DiskPageFile::Open(path.string(),
+                                                     *disk_options)
+                                : DiskPageFile::Open(path.string()));
     } else {
       std::ifstream in(path, std::ios::binary);
       if (!in) {

@@ -9,6 +9,7 @@
 #include "core/flat_index.h"
 #include "engine/query_engine.h"
 #include "shard/shard_catalog.h"
+#include "storage/disk_page_file.h"
 #include "storage/io_stats.h"
 #include "storage/page_file.h"
 #include "storage/page_store.h"
@@ -243,6 +244,15 @@ class ShardedFlatStore {
   /// Supported types: kRange, kRangeCount, kSeedScan, kSphere. kKnn throws
   /// std::invalid_argument — a global k-merge needs distance-annotated
   /// results, which the gather does not have yet.
+  ///
+  /// Fail-soft: a query carrying a QueryControl threads it into every
+  /// scattered sub-query under a shared QueryGroup, so one failing shard
+  /// (deadline, budget, I/O error) poisons the group and its siblings stop
+  /// at their next cancellation point instead of completing work that will
+  /// be discarded. The merged QueryResult reports the group's originating
+  /// status; its ids are the (sorted) union of whatever the sub-queries
+  /// gathered — a valid partial result. Queries without a control are
+  /// unaffected, bit-identical to before.
   std::vector<QueryResult> RunBatch(const std::vector<Query>& batch,
                                     BatchStats* stats = nullptr) const;
 
@@ -275,8 +285,16 @@ class ShardedFlatStore {
   /// files, and on a stale catalog: one whose generation regressed behind
   /// the directory's "generation.flatgen" sidecar (e.g. a pre-compaction
   /// catalog restored into a post-compaction directory).
+  ///
+  /// `disk_options` (kDisk backend only; may be null for the defaults)
+  /// configures every shard's DiskPageFile — retry policy, prefetch
+  /// toucher, and the fault-injection schedule used by the robustness
+  /// tests/benches. Must outlive nothing: the options are copied at Open
+  /// (though a non-null Options::fault_schedule must outlive the store).
   static ShardedFlatStore Load(const std::string& dir, size_t num_threads = 1,
-                               LoadBackend backend = LoadBackend::kDisk);
+                               LoadBackend backend = LoadBackend::kDisk,
+                               const DiskPageFile::Options* disk_options =
+                                   nullptr);
 
   size_t shard_count() const;
   /// The current base's catalog. The reference stays valid until the next

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "storage/fault_injection.h"
+
 namespace flat {
 
 BufferPool::BufferPool(const PageStore* store, IoStats* stats,
@@ -15,22 +17,28 @@ BufferPool::BufferPool(const PageStore* store, IoStats* stats,
 const char* BufferPool::Read(PageId id) {
   if (table_.Touch(id)) {
     ++hits_;
-  } else {
-    ++misses_;
-    stats_->RecordRead(store_->category(id));
-    table_.Insert(id);
-    if (!pending_.empty()) {
-      auto it = std::find(pending_.begin(), pending_.end(), id);
-      if (it != pending_.end()) {
-        // The miss landed on a hinted page: the prefetch overlapped real
-        // work. Swap-erase; pending order carries no meaning.
-        *it = pending_.back();
-        pending_.pop_back();
-        stats_->RecordPrefetchHit();
-      }
+    return store_->Data(id);
+  }
+  ++misses_;
+  stats_->RecordRead(store_->category(id));
+  table_.Insert(id);
+  if (!pending_.empty()) {
+    auto it = std::find(pending_.begin(), pending_.end(), id);
+    if (it != pending_.end()) {
+      // The miss landed on a hinted page: the prefetch overlapped real
+      // work. Swap-erase; pending order carries no meaning.
+      *it = pending_.back();
+      pending_.pop_back();
+      stats_->RecordPrefetchHit();
     }
   }
-  return store_->Data(id);
+  // A miss is where the backend may actually perform I/O: attribute any
+  // transient-read retries it burned to this query's stats.
+  const uint64_t retries_before = ThreadReadRetries();
+  const char* data = store_->Data(id);
+  const uint64_t retries = ThreadReadRetries() - retries_before;
+  if (retries != 0) stats_->RecordIoRetries(retries);
+  return data;
 }
 
 void BufferPool::Prefetch(PageId id) {

@@ -6,10 +6,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <new>
 #include <stdexcept>
+
+#include "storage/fault_injection.h"
 
 namespace flat {
 namespace {
@@ -114,7 +117,14 @@ std::unique_ptr<DiskPageFile> DiskPageFile::Open(const std::string& path,
     ++file->pages_in_category_[c];
   }
 
-  if (options.use_mmap) {
+  file->fault_schedule_ = options.fault_schedule;
+  file->max_read_retries_ = options.max_read_retries;
+  file->retry_backoff_micros_ = options.retry_backoff_micros;
+  file->retry_backoff_cap_micros_ = options.retry_backoff_cap_micros;
+
+  // A fault schedule forces pread mode: mmap'd reads are page faults, not
+  // preads, so scheduled faults would silently never fire.
+  if (options.use_mmap && options.fault_schedule == nullptr) {
     void* base = ::mmap(nullptr, file->file_size_, PROT_READ, MAP_PRIVATE,
                         file->fd_, 0);
     if (base != MAP_FAILED) {
@@ -185,14 +195,105 @@ const char* DiskPageFile::EnsureResident(PageId id) const {
       throw std::bad_alloc();
     }
     try {
-      ReadFully(fd_, path_, buffer, page_size_, PageOffset(id));
+      ReadPage(id, buffer);
     } catch (...) {
+      // Release the busy claim so later reads can retry the page instead of
+      // spinning on the sentinel forever.
       std::free(buffer);
       slot.store(nullptr, std::memory_order_release);
       throw;
     }
     slot.store(buffer, std::memory_order_release);
     return buffer;
+  }
+}
+
+void DiskPageFile::ReadPage(PageId id, char* dst) const {
+  char* out = dst;
+  size_t remaining = page_size_;
+  uint64_t offset = PageOffset(id);
+  uint32_t error_retries = 0;
+
+  // Charges one counted retry (member total + the thread-local counter the
+  // buffer pools sample for per-query IoStats attribution).
+  const auto count_retry = [this] {
+    read_retries_.fetch_add(1, std::memory_order_relaxed);
+    AddThreadReadRetries(1);
+  };
+  const auto backoff = [this](uint32_t retries_done) {
+    if (retry_backoff_micros_ == 0) return;
+    uint64_t micros = uint64_t{retry_backoff_micros_} << retries_done;
+    if (micros > retry_backoff_cap_micros_) micros = retry_backoff_cap_micros_;
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  };
+
+  while (remaining > 0) {
+    size_t request = remaining;
+
+    // One loop iteration is one read attempt; the schedule (if any) is
+    // consulted first so injected faults are deterministic per attempt.
+    if (fault_schedule_ != nullptr) {
+      const FaultSpec fault = fault_schedule_->Next(id);
+      switch (fault.kind) {
+        case FaultKind::kNone:
+          break;
+        case FaultKind::kEintr:
+          count_retry();
+          continue;  // interrupted before transferring anything
+        case FaultKind::kShortRead:
+          // Truncate this attempt's transfer; the loop continues from the
+          // partial progress, as with a real short pread.
+          request = fault.short_bytes < 1 ? 1 : fault.short_bytes;
+          if (request > remaining) request = remaining;
+          break;
+        case FaultKind::kLatency:
+          if (fault.latency_micros > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(fault.latency_micros));
+          }
+          break;
+        case FaultKind::kError:
+          if (error_retries >= max_read_retries_) {
+            read_errors_.fetch_add(1, std::memory_order_relaxed);
+            Fail(path_, "read of page " + std::to_string(id) +
+                            " failed after " + std::to_string(error_retries) +
+                            " retries (injected " +
+                            std::string(std::strerror(fault.error_number)) +
+                            ")");
+          }
+          count_retry();
+          backoff(error_retries);
+          ++error_retries;
+          continue;
+      }
+    }
+
+    const ssize_t n = ::pread(fd_, out, request, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) {
+        count_retry();
+        continue;
+      }
+      if (error_retries >= max_read_retries_) {
+        read_errors_.fetch_add(1, std::memory_order_relaxed);
+        Fail(path_, "read of page " + std::to_string(id) + " failed after " +
+                        std::to_string(error_retries) + " retries (" +
+                        std::string(std::strerror(errno)) + ")");
+      }
+      count_retry();
+      backoff(error_retries);
+      ++error_retries;
+      continue;
+    }
+    if (n == 0) {
+      // EOF inside a validated page range: the file shrank under us.
+      // Retrying cannot help.
+      read_errors_.fetch_add(1, std::memory_order_relaxed);
+      Fail(path_, "unexpected end of file reading page " + std::to_string(id));
+    }
+    out += n;
+    remaining -= static_cast<size_t>(n);
+    offset += static_cast<uint64_t>(n);
   }
 }
 

@@ -16,6 +16,8 @@
 
 namespace flat {
 
+class FaultSchedule;
+
 /// A real persistent PageStore: serves `Data(id)` straight from a
 /// `FLATPGF1` file written by SavePageFile, opened read-only for query
 /// execution.
@@ -70,6 +72,23 @@ class DiskPageFile final : public PageStore {
     /// Bound on queued-but-untouched prefetch hints; further hints are
     /// dropped (they are advisory).
     size_t prefetch_queue_limit = 4096;
+
+    /// Transient pread failures (anything but EINTR, which always retries
+    /// immediately) are retried up to this many times with exponential
+    /// backoff before the read fails permanently (std::runtime_error, which
+    /// the query dispatch layer converts to a kIoError result).
+    uint32_t max_read_retries = 3;
+    /// First backoff sleep before a transient-error retry; doubled per
+    /// retry up to the cap. 0 retries immediately.
+    uint32_t retry_backoff_micros = 100;
+    uint32_t retry_backoff_cap_micros = 10000;
+
+    /// Deterministic fault plan for page reads (tests/benches; see
+    /// storage/fault_injection.h). Setting this forces pread mode — mmap'd
+    /// reads never reach the schedule, so a scheduled fault could silently
+    /// never fire. Must outlive the file. Header and category-table reads
+    /// are not subject to injection (they happen once, at Open).
+    const FaultSchedule* fault_schedule = nullptr;
   };
 
   /// Opens `path` (a SavePageFile stream on disk) read-only. Throws
@@ -128,6 +147,15 @@ class DiskPageFile final : public PageStore {
     return pages_touched_.load(std::memory_order_relaxed);
   }
 
+  /// Transient page-read failures recovered by retry (EINTR + retried
+  /// errors) and permanent read failures thrown, across all threads.
+  uint64_t read_retries() const {
+    return read_retries_.load(std::memory_order_relaxed);
+  }
+  uint64_t read_errors() const {
+    return read_errors_.load(std::memory_order_relaxed);
+  }
+
   const std::string& path() const { return path_; }
 
  private:
@@ -141,6 +169,11 @@ class DiskPageFile final : public PageStore {
   /// pread mode: returns the resident copy of `id`, reading it from the fd
   /// on first access (lock-free publish; see class comment).
   const char* EnsureResident(PageId id) const;
+
+  /// Reads page `id` into `dst`, applying the fault schedule (if any) and
+  /// the EINTR/short-read/transient-retry recovery policy. Throws
+  /// std::runtime_error once the retry budget is exhausted.
+  void ReadPage(PageId id, char* dst) const;
 
   void TouchLoop();
   void Touch(PageId id) const;
@@ -170,6 +203,14 @@ class DiskPageFile final : public PageStore {
   bool stop_ = false;
   std::thread toucher_;
   mutable std::atomic<uint64_t> pages_touched_{0};
+
+  // Fail-soft read policy (see Options).
+  const FaultSchedule* fault_schedule_ = nullptr;
+  uint32_t max_read_retries_ = 3;
+  uint32_t retry_backoff_micros_ = 100;
+  uint32_t retry_backoff_cap_micros_ = 10000;
+  mutable std::atomic<uint64_t> read_retries_{0};
+  mutable std::atomic<uint64_t> read_errors_{0};
 };
 
 }  // namespace flat

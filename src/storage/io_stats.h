@@ -39,10 +39,23 @@ class IoStats {
   void RecordPrefetchWasted(uint64_t count) { prefetch_wasted_ += count; }
   void RecordOverlayProbes(uint64_t count) { overlay_probes_ += count; }
 
+  /// Fail-soft counters (see docs/architecture.md "Fail-soft execution").
+  /// Retries: transient page-read failures (EINTR, injected or real I/O
+  /// errors within the backoff budget) recovered while serving this query's
+  /// reads — the read still succeeded and is counted once in `reads_`.
+  /// Errors: unrecoverable read failures converted to kIoError results.
+  /// Sheds: queries rejected by admission control before execution.
+  void RecordIoRetries(uint64_t count) { io_retries_ += count; }
+  void RecordIoError() { ++io_errors_; }
+  void RecordQueryShed() { ++queries_shed_; }
+
   uint64_t PrefetchIssued() const { return prefetch_issued_; }
   uint64_t PrefetchHits() const { return prefetch_hits_; }
   uint64_t PrefetchWasted() const { return prefetch_wasted_; }
   uint64_t OverlayProbes() const { return overlay_probes_; }
+  uint64_t IoRetries() const { return io_retries_; }
+  uint64_t IoErrors() const { return io_errors_; }
+  uint64_t QueriesShed() const { return queries_shed_; }
 
   uint64_t ReadsIn(PageCategory category) const {
     return reads_[static_cast<size_t>(category)];
@@ -65,6 +78,9 @@ class IoStats {
     prefetch_hits_ = 0;
     prefetch_wasted_ = 0;
     overlay_probes_ = 0;
+    io_retries_ = 0;
+    io_errors_ = 0;
+    queries_shed_ = 0;
   }
 
   IoStats& operator+=(const IoStats& other) {
@@ -73,6 +89,9 @@ class IoStats {
     prefetch_hits_ += other.prefetch_hits_;
     prefetch_wasted_ += other.prefetch_wasted_;
     overlay_probes_ += other.overlay_probes_;
+    io_retries_ += other.io_retries_;
+    io_errors_ += other.io_errors_;
+    queries_shed_ += other.queries_shed_;
     return *this;
   }
 
@@ -86,6 +105,9 @@ class IoStats {
     delta.prefetch_hits_ = prefetch_hits_ - snapshot.prefetch_hits_;
     delta.prefetch_wasted_ = prefetch_wasted_ - snapshot.prefetch_wasted_;
     delta.overlay_probes_ = overlay_probes_ - snapshot.overlay_probes_;
+    delta.io_retries_ = io_retries_ - snapshot.io_retries_;
+    delta.io_errors_ = io_errors_ - snapshot.io_errors_;
+    delta.queries_shed_ = queries_shed_ - snapshot.queries_shed_;
     return delta;
   }
 
@@ -95,6 +117,9 @@ class IoStats {
   uint64_t prefetch_hits_ = 0;
   uint64_t prefetch_wasted_ = 0;
   uint64_t overlay_probes_ = 0;
+  uint64_t io_retries_ = 0;
+  uint64_t io_errors_ = 0;
+  uint64_t queries_shed_ = 0;
 };
 
 }  // namespace flat

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "storage/fault_injection.h"
+
 namespace flat {
 namespace {
 
@@ -33,6 +35,7 @@ StripedBufferPool::StripedBufferPool(const PageStore* store,
 
 const char* StripedBufferPool::Read(PageId id, IoStats* stats) {
   Stripe& stripe = StripeFor(id);
+  bool missed = false;
   {
     std::lock_guard<std::mutex> lock(stripe.mu);
     if (stripe.table.Touch(id)) {
@@ -40,6 +43,7 @@ const char* StripedBufferPool::Read(PageId id, IoStats* stats) {
       // Page data lives in the immutable PageStore, so the pointer can be
       // returned outside the stripe lock.
     } else {
+      missed = true;
       ++stripe.misses;
       const PageCategory category = store_->category(id);
       stripe.stats.RecordRead(category);
@@ -57,7 +61,19 @@ const char* StripedBufferPool::Read(PageId id, IoStats* stats) {
       }
     }
   }
-  return store_->Data(id);
+  if (!missed) return store_->Data(id);
+  // A miss is where the backend may perform real I/O (outside the stripe
+  // lock): attribute any transient-read retries it burned to the caller's
+  // stats and, under the lock again, to the pool's merged stats.
+  const uint64_t retries_before = ThreadReadRetries();
+  const char* data = store_->Data(id);
+  const uint64_t retries = ThreadReadRetries() - retries_before;
+  if (retries != 0) {
+    if (stats != nullptr) stats->RecordIoRetries(retries);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.stats.RecordIoRetries(retries);
+  }
+  return data;
 }
 
 void StripedBufferPool::Prefetch(PageId id, IoStats* stats, int depth) {

@@ -8,6 +8,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <filesystem>
@@ -25,6 +26,7 @@
 #include "engine/query_engine.h"
 #include "geometry/rng.h"
 #include "storage/buffer_pool.h"
+#include "storage/fault_injection.h"
 #include "storage/page_file.h"
 #include "storage/persistence.h"
 #include "tests/test_util.h"
@@ -378,6 +380,160 @@ TEST(DiskPageFileTest, CorruptFilesAreRejectedAtOpen) {
   // The untouched original still opens fine.
   auto disk = DiskPageFile::Open(on_disk.path());
   EXPECT_EQ(std::memcmp(disk->Data(id), "valid", 5), 0);
+}
+
+// A transient fault sequence — EINTR, short reads, errors within the retry
+// budget — must be fully recovered: byte-identical pages, exact retry
+// accounting, zero permanent errors.
+TEST(DiskPageFileFaultTest, TransientFaultSequencesRecoverExactly) {
+  PageFile file(512);
+  for (int i = 0; i < 8; ++i) {
+    const PageId id = file.Allocate(PageCategory::kObject);
+    std::memset(file.MutableData(id), 'A' + i, file.page_size());
+  }
+  ScopedPageFileOnDisk on_disk(file, "transient");
+
+  FaultSchedule schedule;
+  // Page 0: interrupted twice before succeeding.
+  schedule.Add({.page = 0, .attempt = 1, .kind = FaultKind::kEintr});
+  schedule.Add({.page = 0, .attempt = 2, .kind = FaultKind::kEintr});
+  // Page 1: two short reads (7 bytes, then 100) before the rest transfers.
+  schedule.Add({.page = 1,
+                .attempt = 1,
+                .kind = FaultKind::kShortRead,
+                .short_bytes = 7});
+  schedule.Add({.page = 1,
+                .attempt = 2,
+                .kind = FaultKind::kShortRead,
+                .short_bytes = 100});
+  // Page 2: fails twice (within the budget of 3), then succeeds.
+  schedule.FailRead(/*page=*/2, /*times=*/2);
+  // Page 3: delayed, then succeeds.
+  schedule.Add({.page = 3,
+                .attempt = 1,
+                .kind = FaultKind::kLatency,
+                .latency_micros = 50});
+
+  DiskPageFile::Options options;
+  options.async_prefetch = false;  // keep schedule attempts query-driven
+  options.retry_backoff_micros = 0;
+  options.fault_schedule = &schedule;
+  auto disk = DiskPageFile::Open(on_disk.path(), options);
+  EXPECT_FALSE(disk->mmap_backed()) << "a schedule must force pread mode";
+
+  for (PageId id = 0; id < 8; ++id) {
+    ASSERT_EQ(std::memcmp(disk->Data(id), file.Data(id), 512), 0)
+        << "page " << id;
+  }
+  // 2 EINTR (page 0) + 2 retried errors (page 2); short reads and latency
+  // are progress, not retries.
+  EXPECT_EQ(disk->read_retries(), 4u);
+  EXPECT_EQ(disk->read_errors(), 0u);
+  EXPECT_EQ(schedule.fired(FaultKind::kEintr), 2u);
+  EXPECT_EQ(schedule.fired(FaultKind::kShortRead), 2u);
+  EXPECT_EQ(schedule.fired(FaultKind::kError), 2u);
+  EXPECT_EQ(schedule.fired(FaultKind::kLatency), 1u);
+}
+
+// A fault outliving the retry budget throws (→ kIoError upstream) — and,
+// critically, releases the busy sentinel: the next read of the same page
+// must retry the I/O rather than hang or crash, and succeed once the
+// schedule is exhausted.
+TEST(DiskPageFileFaultTest, FailedReadReleasesBusySentinelAndCanRecover) {
+  PageFile file(256);
+  const PageId id = file.Allocate(PageCategory::kObject);
+  std::memset(file.MutableData(id), 'Z', file.page_size());
+  ScopedPageFileOnDisk on_disk(file, "sentinel");
+
+  FaultSchedule schedule;
+  // With max_read_retries = 0, each Data() call consumes exactly one
+  // scheduled attempt and throws; the 4th call finds a clean schedule.
+  schedule.FailRead(id, /*times=*/3);
+
+  DiskPageFile::Options options;
+  options.async_prefetch = false;
+  options.max_read_retries = 0;
+  options.fault_schedule = &schedule;
+  auto disk = DiskPageFile::Open(on_disk.path(), options);
+
+  for (int call = 0; call < 3; ++call) {
+    EXPECT_THROW(disk->Data(id), std::runtime_error) << "call " << call;
+  }
+  EXPECT_EQ(disk->read_errors(), 3u);
+  // The sentinel was released every time: this read claims the slot afresh
+  // and succeeds.
+  ASSERT_EQ(std::memcmp(disk->Data(id), file.Data(id), 256), 0);
+  // Resident now; further reads are stable and fault-free.
+  EXPECT_EQ(disk->Data(id), disk->Data(id));
+}
+
+// The sentinel-release property under concurrency: many threads hammer a
+// page whose first reads fail. No thread may deadlock on a stale kBusyPage,
+// and once the schedule drains every thread sees the correct bytes.
+TEST(DiskPageFileFaultTest, ConcurrentReadersSurviveFailingPage) {
+  PageFile file(256);
+  const PageId id = file.Allocate(PageCategory::kObject);
+  std::memset(file.MutableData(id), 'Q', file.page_size());
+  ScopedPageFileOnDisk on_disk(file, "concurrent_fail");
+
+  FaultSchedule schedule;
+  schedule.FailRead(id, /*times=*/5);
+
+  DiskPageFile::Options options;
+  options.async_prefetch = false;
+  options.max_read_retries = 0;
+  options.fault_schedule = &schedule;
+  auto disk = DiskPageFile::Open(on_disk.path(), options);
+
+  constexpr int kThreads = 4;
+  std::atomic<int> successes{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 20; ++round) {
+        try {
+          const char* data = disk->Data(id);
+          if (data[0] == 'Q') ++successes;
+        } catch (const std::runtime_error&) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // The 5 scheduled failures all fired (possibly observed by any subset of
+  // threads); everyone eventually read the page.
+  EXPECT_EQ(failures.load(), 5);
+  EXPECT_GT(successes.load(), 0);
+  ASSERT_EQ(std::memcmp(disk->Data(id), file.Data(id), 256), 0);
+}
+
+// Destroying the store with hints still queued — while another thread
+// hammers DropOsCache — must shut down cleanly (the prefetch toucher holds
+// no lock across I/O and drops advisory work on stop).
+TEST(DiskPageFileTest, ShutdownWithQueuedHintsAndConcurrentDropOsCache) {
+  PageFile file(256);
+  for (int i = 0; i < 256; ++i) file.Allocate(PageCategory::kObject);
+  ScopedPageFileOnDisk on_disk(file, "shutdown");
+
+  for (int round = 0; round < 20; ++round) {
+    auto disk = DiskPageFile::Open(on_disk.path(), DiskPageFile::Options{
+                                                       .use_mmap = false,
+                                                   });
+    std::atomic<bool> stop{false};
+    std::thread dropper([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        disk->DropOsCache();
+      }
+    });
+    for (PageId id = 0; id < 256; ++id) disk->Prefetch(id);
+    stop.store(true, std::memory_order_release);
+    dropper.join();
+    // Destroy with whatever is still queued; must join the toucher cleanly.
+    disk.reset();
+  }
 }
 
 }  // namespace
