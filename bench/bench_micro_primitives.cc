@@ -123,6 +123,48 @@ void BM_NodeGateSoaGateOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_NodeGateSoaGateOnly);
 
+// --- Containment-gate primitives ------------------------------------------
+// The covered-child test behind aggregate pruning (rtree/aggregates.h): the
+// same page as the node gates, against a query large enough to contain most
+// of the boxes — the mix RangeCountViaAggregates sees on viewport queries.
+
+void BM_CoverGateScalar(benchmark::State& state) {
+  auto& f = NodePage();
+  const Aabb cover(Vec3(5, 5, 5), Vec3(95, 95, 95));
+  for (auto _ : state) {
+    ContainsBatchScalar(f.page.data() + kNodeHeaderSize, sizeof(RTreeEntry),
+                        f.count, cover, f.hits.data());
+    benchmark::DoNotOptimize(f.hits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.count);
+}
+BENCHMARK(BM_CoverGateScalar);
+
+void BM_CoverGateSimdAos(benchmark::State& state) {
+  auto& f = NodePage();
+  const Aabb cover(Vec3(5, 5, 5), Vec3(95, 95, 95));
+  for (auto _ : state) {
+    ContainsBatch(f.page.data() + kNodeHeaderSize, sizeof(RTreeEntry),
+                  f.count, cover, f.hits.data());
+    benchmark::DoNotOptimize(f.hits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.count);
+}
+BENCHMARK(BM_CoverGateSimdAos);
+
+void BM_CoverGateSoa(benchmark::State& state) {
+  // SoA already resident (the descent shares the transpose with the
+  // intersection gate): the steady-state containment gate alone.
+  auto& f = NodePage();
+  const Aabb cover(Vec3(5, 5, 5), Vec3(95, 95, 95));
+  for (auto _ : state) {
+    ContainsSoa(f.soa, cover, f.hits.data());
+    benchmark::DoNotOptimize(f.hits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.count);
+}
+BENCHMARK(BM_CoverGateSoa);
+
 void BM_SphereGateScalarLoop(benchmark::State& state) {
   // Pre-SIMD sphere path: per-element IntersectsSphere over the page.
   auto& f = NodePage();

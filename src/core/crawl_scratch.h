@@ -83,6 +83,15 @@ class CrawlScratch {
     return hits_.data();
   }
 
+  /// Second hit-mask buffer for the containment ("covered") gates of the
+  /// aggregate-pruned descent, which runs alongside the intersection mask
+  /// of the same node (ContainsBatch / ContainsQuantizedSoa) — a separate
+  /// buffer so the two masks coexist.
+  uint8_t* CoverHits(size_t count) {
+    if (cover_hits_.size() < count) cover_hits_.resize(count);
+    return cover_hits_.data();
+  }
+
   /// Reusable structure-of-arrays transpose buffer: the crawl re-lays a
   /// visited node page's entry MBRs into SoA lanes once, then gates the
   /// whole fanout with the vector kernels (see geometry/box_kernels.h).
@@ -163,6 +172,7 @@ class CrawlScratch {
   size_t tail_ = 0;
   size_t queued_ = 0;
   std::vector<uint8_t> hits_;
+  std::vector<uint8_t> cover_hits_;
   SoaBoxes soa_;
   QuantizedSoa quantized_;
   const QueryControl* control_ = nullptr;  // null = uncontrolled (hot path)

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cmath>
 #include <cstddef>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 
@@ -28,6 +30,24 @@ Aabb BoundsOf(const std::vector<RTreeEntry>& entries) {
   return bounds;
 }
 
+// Aggregate pruning rests on "query covers the subtree MBR => every element
+// below matches", which only holds when every element box is non-empty and
+// finite: an empty or NaN box is invisible to the intersection gates yet
+// would be included in stored counts. One such element disables aggregates
+// for the whole build (the exact paths remain correct for it).
+bool AllBoxesAggregatable(const std::vector<RTreeEntry>& elements) {
+  for (const RTreeEntry& e : elements) {
+    for (int axis = 0; axis < 3; ++axis) {
+      const double lo = e.box.lo()[axis];
+      const double hi = e.box.hi()[axis];
+      if (!(lo <= hi) || !std::isfinite(lo) || !std::isfinite(hi)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 /// One internal seed node, gated against `gate` whichever format the page
 /// carries (the header's format byte dispatches). Exact pages run the
 /// batched double-precision sweep; compressed pages quantize the query once
@@ -38,7 +58,14 @@ Aabb BoundsOf(const std::vector<RTreeEntry>& entries) {
 /// object level; a miss is impossible, so results never change.
 class InternalNodeGate {
  public:
-  InternalNodeGate(const char* data, const Aabb& gate, CrawlScratch* scratch)
+  /// `want_covered` additionally computes a containment mask (Covered):
+  /// exact pages run the flipped-predicate ContainsBatch, compressed pages
+  /// certify slots against the conservatively dequantized cover thresholds
+  /// (QuantizeCoverQuery) — covered can under-trigger near the query faces
+  /// on quantized pages but never over-trigger, so a covered verdict always
+  /// licenses taking the child's stored aggregate instead of descending.
+  InternalNodeGate(const char* data, const Aabb& gate, CrawlScratch* scratch,
+                   bool want_covered = false)
       : data_(data), node_(data) {
     const uint16_t n = node_.count();
     uint8_t* hits;
@@ -49,10 +76,22 @@ class InternalNodeGate {
       hits = scratch->Hits(soa.padded_count());
       IntersectsQuantizedSoa(soa, QuantizeQuery(cnode.node_box(), gate),
                              hits);
+      if (want_covered) {
+        uint8_t* cover = scratch->CoverHits(soa.padded_count());
+        ContainsQuantizedSoa(soa, QuantizeCoverQuery(cnode.node_box(), gate),
+                             cover);
+        cover_ = cover;
+      }
     } else {
       hits = scratch->Hits(n);
       IntersectsBatch(data + kNodeHeaderSize, sizeof(RTreeEntry), n, gate,
                       hits);
+      if (want_covered) {
+        uint8_t* cover = scratch->CoverHits(n);
+        ContainsBatch(data + kNodeHeaderSize, sizeof(RTreeEntry), n, gate,
+                      cover);
+        cover_ = cover;
+      }
     }
     hits_ = hits;
   }
@@ -60,6 +99,7 @@ class InternalNodeGate {
   uint16_t count() const { return node_.count(); }
   uint8_t level() const { return node_.level(); }
   bool Hit(uint16_t i) const { return hits_[i] != 0; }
+  bool Covered(uint16_t i) const { return cover_[i] != 0; }
 
   PageId ChildAt(uint16_t i) const {
     if (node_.format() == NodeFormat::kQuantized) {
@@ -77,6 +117,7 @@ class InternalNodeGate {
   const char* data_;
   NodeView node_;
   const uint8_t* hits_;
+  const uint8_t* cover_ = nullptr;  // set iff want_covered
 };
 
 }  // namespace
@@ -109,6 +150,10 @@ FlatIndex FlatIndex::Build(PageFile* file, std::vector<RTreeEntry> elements,
   }
 
   const uint32_t page_capacity = NodeCapacity(file->page_size());
+
+  const bool aggregate_counts =
+      options.aggregate_counts && AllBoxesAggregatable(elements);
+  const uint64_t total_elements = elements.size();
 
   // Phase 1: STR partitioning (Algorithm 1, sorting passes).
   auto t_partition = Clock::now();
@@ -237,6 +282,26 @@ FlatIndex FlatIndex::Build(PageFile* file, std::vector<RTreeEntry> elements,
   });
   stats.seed_leaf_pages = leaf_members.size();
 
+  // Seed the aggregate builder with the record-level entries (one object
+  // page each) and the per-leaf totals; BuildUpperLevels rolls them up
+  // through the internal levels. Serial and in deterministic leaf order, so
+  // the sidecar is byte-identical across thread counts like the pages.
+  std::optional<AggregateBuilder> agg_builder;
+  if (aggregate_counts) {
+    agg_builder.emplace();
+    for (size_t l = 0; l < leaf_members.size(); ++l) {
+      AggEntry leaf_total{0, 1};  // the seed-leaf page itself
+      for (size_t slot = 0; slot < leaf_members[l].size(); ++slot) {
+        const AggEntry record{partitions[leaf_members[l][slot]].count, 1};
+        agg_builder->RecordSlot(leaf_ids[l], static_cast<uint16_t>(slot),
+                                record);
+        leaf_total.elements += record.elements;
+        leaf_total.pages += record.pages;
+      }
+      agg_builder->SetPageTotal(leaf_ids[l], leaf_total);
+    }
+  }
+
   // Internal levels of the seed tree, exact or compressed per the build
   // options (the two layouts differ only in these kSeedInternal pages —
   // object pages and seed leaves above are byte-identical either way).
@@ -249,10 +314,10 @@ FlatIndex FlatIndex::Build(PageFile* file, std::vector<RTreeEntry> elements,
     const NodeFormat seed_format = options.compressed_seed_pages
                                        ? NodeFormat::kQuantized
                                        : NodeFormat::kExact;
-    RTree upper = BuildUpperLevels(file, leaf_entries, /*level=*/1,
-                                   LevelOrder::kStr,
-                                   PageCategory::kSeedInternal, pool,
-                                   seed_format);
+    RTree upper = BuildUpperLevels(
+        file, leaf_entries, /*level=*/1, LevelOrder::kStr,
+        PageCategory::kSeedInternal, pool, seed_format,
+        agg_builder.has_value() ? &*agg_builder : nullptr);
     index.seed_root_ = upper.root();
     index.root_is_leaf_ = false;
     index.seed_height_ = upper.height();
@@ -260,6 +325,11 @@ FlatIndex FlatIndex::Build(PageFile* file, std::vector<RTreeEntry> elements,
   }
   stats.seed_height = index.seed_height_;
   stats.write_seconds = SecondsSince(t_write);
+
+  if (agg_builder.has_value()) {
+    index.aggregates_ = std::make_shared<const SeedAggregates>(
+        agg_builder->Finish(total_elements));
+  }
 
   index.partition_profiles_.reserve(partitions.size());
   for (const PartitionInfo& p : partitions) {
@@ -462,18 +532,95 @@ void FlatIndex::RangeQuery(PageCache* pool, const Aabb& query,
 
 size_t FlatIndex::RangeCount(PageCache* pool, const Aabb& query,
                              CrawlScratch* scratch) const {
+  uint64_t count = 0;
+  RangeCountInto(pool, query, &count, scratch);
+  return static_cast<size_t>(count);
+}
+
+void FlatIndex::RangeCountInto(PageCache* pool, const Aabb& query,
+                               uint64_t* acc, CrawlScratch* scratch) const {
+  if (aggregates_ != nullptr) {
+    RangeCountViaAggregates(pool, query, acc, scratch);
+    return;
+  }
   std::optional<RecordRef> start = SeedWhere(
       pool, query, [&query](const Aabb& box) { return box.Intersects(query); },
       scratch);
-  if (!start.has_value()) return 0;
-  size_t count = 0;
+  if (!start.has_value()) return;
+  // The sink bumps the caller's accumulator directly, so a QueryAbort from
+  // a cancellation point leaves the elements counted so far in *acc — the
+  // partial-result contract (see core/query_control.h).
   CrawlPages(pool, query, *start, CrawlGuard::kPartitionMbr, scratch,
              SoaScan(
                  [&query](const SoaBoxes& soa, uint8_t* hits) {
                    IntersectsSoa(soa, query, hits);
                  },
-                 [&count](const NodeView&, uint16_t) { ++count; }));
-  return count;
+                 [acc](const NodeView&, uint16_t) { ++*acc; }));
+}
+
+void FlatIndex::RangeCountViaAggregates(PageCache* pool, const Aabb& query,
+                                        uint64_t* acc,
+                                        CrawlScratch* scratch) const {
+  if (empty() || query.IsEmpty()) return;
+  struct Frame {
+    PageId page;
+    bool is_leaf;
+  };
+  std::vector<uint8_t> hits;  // reused across boundary object pages
+  std::optional<CrawlScratch> throwaway;
+  CrawlScratch* s = scratch != nullptr ? scratch : &throwaway.emplace();
+  const SeedAggregates& agg = *aggregates_;
+  // Hierarchical descent like RangeQueryViaSeedScan (which is exact and
+  // visits every candidate object page exactly once, so it tallies the same
+  // count as the crawl). The difference: a child fully covered by the query
+  // contributes its stored subtree count with zero reads below it, and a
+  // fully covered record skips its object page — only subtrees straddling
+  // the query boundary are gated exactly.
+  std::vector<Frame> stack = {{seed_root_, root_is_leaf_}};
+  while (!stack.empty()) {
+    s->CheckControl();  // cancellation point, once per tree-node pop
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (frame.is_leaf) {
+      SeedLeafView leaf(pool->Read(frame.page));
+      for (uint16_t slot = 0; slot < leaf.count(); ++slot) {
+        MetadataRecordView record = leaf.RecordAt(slot);
+        const Aabb page_mbr = record.page_mbr();
+        if (!page_mbr.Intersects(query)) continue;
+        if (query.Contains(page_mbr)) {
+          // Covered record: every element in the object page matches
+          // (aggregated builds have no empty element boxes), so the stored
+          // count stands in for reading the page.
+          if (const AggEntry* e = agg.Find(frame.page, slot)) {
+            *acc += e->elements;
+            continue;
+          }
+        }
+        s->CheckControl();  // each boundary record reads one object page
+        const char* page = pool->Read(record.object_page());
+        NodeView elements(page);
+        const uint16_t n = elements.count();
+        if (hits.size() < n) hits.resize(n);
+        IntersectsBatch(page + kNodeHeaderSize, sizeof(RTreeEntry), n, query,
+                        hits.data());
+        for (uint16_t i = 0; i < n; ++i) *acc += hits[i];
+      }
+      continue;
+    }
+    const InternalNodeGate gated(pool->Read(frame.page), query, s,
+                                 /*want_covered=*/true);
+    const bool children_are_leaves = gated.level() == 1;
+    for (uint16_t i = 0; i < gated.count(); ++i) {
+      if (!gated.Hit(i)) continue;
+      if (gated.Covered(i)) {
+        if (const AggEntry* e = agg.Find(frame.page, i)) {
+          *acc += e->elements;  // whole subtree inside the query: O(1)
+          continue;
+        }
+      }
+      stack.push_back(Frame{gated.ChildAt(i), children_are_leaves});
+    }
+  }
 }
 
 namespace {
@@ -617,11 +764,26 @@ void FlatIndex::RangeQueryViaSeedScan(PageCache* pool, const Aabb& query,
       SeedLeafView leaf(pool->Read(frame.page));
       for (uint16_t slot = 0; slot < leaf.count(); ++slot) {
         MetadataRecordView record = leaf.RecordAt(slot);
-        if (!record.page_mbr().Intersects(query)) continue;
+        const Aabb page_mbr = record.page_mbr();
+        if (!page_mbr.Intersects(query)) continue;
         s->CheckControl();  // each candidate record reads one object page
         const char* page = pool->Read(record.object_page());
         NodeView elements(page);
         const uint16_t n = elements.count();
+        if (aggregates_ != nullptr && query.Contains(page_mbr)) {
+          // Fully covered record: every element box sits inside the page MBR
+          // and thus inside the query, so skip the per-entry gates and copy
+          // the whole page's ids. Licensed by has_aggregates(): an aggregated
+          // build certified all element boxes non-empty and finite, which is
+          // exactly what the gated path's hit test would re-check. The page
+          // read itself stays (same bytes, same I/O as the gated path).
+          const size_t need = out->size() + n;
+          if (out->capacity() < need) {
+            out->reserve(std::max(need, out->capacity() * 2));
+          }
+          for (uint16_t i = 0; i < n; ++i) out->push_back(elements.IdAt(i));
+          continue;
+        }
         if (hits.size() < n) hits.resize(n);
         IntersectsBatch(page + kNodeHeaderSize, sizeof(RTreeEntry), n, query,
                         hits.data());

@@ -2,6 +2,7 @@
 #define FLAT_CORE_FLAT_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "core/metadata.h"
 #include "core/partitioner.h"
 #include "geometry/aabb.h"
+#include "rtree/aggregates.h"
 #include "rtree/entry.h"
 #include "storage/page_cache.h"
 #include "storage/page_file.h"
@@ -99,6 +101,22 @@ class FlatIndex {
     /// byte-identical to builds that predate the option. Object pages and
     /// seed leaves are unaffected either way.
     bool compressed_seed_pages = false;
+
+    /// Compute per-subtree aggregates (element and page counts per child
+    /// pointer — rtree/aggregates.h) during the build and attach them to
+    /// the returned index, enabling the covered-node pruning fast paths:
+    /// RangeCount answers fully-covered subtrees from the stored counts in
+    /// O(height) page reads, and RangeQueryViaSeedScan batch-copies
+    /// fully-covered object pages without per-element gates. The aggregates
+    /// live in a sidecar keyed by (page, slot): the PageFile bytes are
+    /// identical with or without this option, and pruned query results and
+    /// counts are bit-identical to the unpruned paths
+    /// (tests/aggregate_index_test.cc). Silently skipped — the index then
+    /// reports has_aggregates() == false and every query runs the exact
+    /// paths — when any element box is empty or non-finite, since such
+    /// elements are invisible to the intersection gates but would be
+    /// included in stored counts. Off by default.
+    bool aggregate_counts = false;
   };
 
   /// An unbuilt index: empty() is true, queries have no PageFile to read
@@ -135,10 +153,24 @@ class FlatIndex {
                   CrawlGuard guard = CrawlGuard::kPartitionMbr) const;
 
   /// Number of elements RangeQuery would return, without materializing the
-  /// id vector: the crawl tallies the batched gate tests directly. Reads the
-  /// same pages, so IoStats match RangeQuery exactly.
+  /// id vector. Without aggregates the crawl tallies the batched gate tests
+  /// directly and reads the same pages as RangeQuery, so IoStats match it
+  /// exactly. With aggregates attached (BuildOptions::aggregate_counts /
+  /// AttachAggregates) the count descends the seed tree instead: a child
+  /// whose box is fully covered by the query contributes its stored subtree
+  /// count with zero page reads below it, and only boundary subtrees are
+  /// descended and gated exactly — same count, far fewer reads on large
+  /// query boxes.
   size_t RangeCount(PageCache* pool, const Aabb& query,
                     CrawlScratch* scratch = nullptr) const;
+
+  /// RangeCount that *adds into* `*acc` as matches accumulate, rather than
+  /// returning the tally at the end. The engine dispatch layer counts
+  /// through this so a query stopped mid-flight by its QueryControl keeps
+  /// the elements counted so far as a valid partial result (consistent with
+  /// partial RangeQuery keeping its ids — see core/query_control.h).
+  void RangeCountInto(PageCache* pool, const Aabb& query, uint64_t* acc,
+                      CrawlScratch* scratch = nullptr) const;
 
   /// Appends the ids of all elements whose MBR intersects the closed ball
   /// around `center` — the structural-neighborhood primitive of Section
@@ -248,6 +280,23 @@ class FlatIndex {
   /// Query engines use it to construct per-worker page caches.
   const PageStore* file() const { return file_; }
 
+  /// Attaches a loaded aggregate sidecar (rtree/aggregates.h) to an
+  /// attached index, enabling the covered-node pruning fast paths exactly
+  /// as BuildOptions::aggregate_counts does at build time. Shared because
+  /// sharded snapshots hand the same immutable index (and sidecar) to many
+  /// workers. Passing nullptr detaches.
+  void AttachAggregates(std::shared_ptr<const SeedAggregates> aggregates) {
+    aggregates_ = std::move(aggregates);
+  }
+
+  /// True when subtree aggregates are attached (pruning paths active).
+  bool has_aggregates() const { return aggregates_ != nullptr; }
+
+  /// The attached sidecar, or nullptr (tests and persistence use this).
+  const std::shared_ptr<const SeedAggregates>& aggregates() const {
+    return aggregates_;
+  }
+
  private:
   // The seed and crawl phases are generic over how elements are matched
   // (box intersection, sphere distance, ...) and what happens per object
@@ -276,12 +325,19 @@ class FlatIndex {
                   CrawlGuard guard, CrawlScratch* scratch,
                   const ScanPage& scan) const;
 
+  // Aggregate-pruned counting plan (only reachable with aggregates_ set):
+  // descends the seed tree, adding stored subtree counts for fully-covered
+  // children and gating only boundary pages exactly.
+  void RangeCountViaAggregates(PageCache* pool, const Aabb& query,
+                               uint64_t* acc, CrawlScratch* scratch) const;
+
   const PageStore* file_ = nullptr;
   PageId seed_root_ = kInvalidPageId;
   bool root_is_leaf_ = false;  // single seed-leaf tree, no internal nodes
   int seed_height_ = 0;
   BuildStats build_stats_;
   std::vector<PartitionProfile> partition_profiles_;
+  std::shared_ptr<const SeedAggregates> aggregates_;  // null = no pruning
 };
 
 }  // namespace flat

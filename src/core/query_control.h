@@ -14,6 +14,16 @@ namespace flat {
 /// Every QueryResult carries one; kOk is the default and the only value a
 /// query without a QueryControl and without injected faults can produce, so
 /// existing callers that never look at it see today's behavior unchanged.
+///
+/// Partial-result semantics: any non-kOk status means the query stopped at
+/// a cancellation point, and the result holds exactly what was gathered up
+/// to that point — for id-producing queries the ids matched so far, for
+/// kRangeCount the tally accumulated so far (a lower bound on the exact
+/// count, since execution only ever adds matches). Partials are valid,
+/// never-torn prefixes of the exact answer under the traversal order, not
+/// random subsets; callers that need exactness must check for kOk rather
+/// than for emptiness, because a partial count/id set is indistinguishable
+/// from a complete one by value alone.
 enum class QueryStatus : uint8_t {
   kOk = 0,
   /// The control's deadline passed before the query finished.

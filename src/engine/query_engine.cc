@@ -40,12 +40,15 @@ class ScratchControlGuard {
 // failure (the storage backends throw std::runtime_error once their retry
 // budget is exhausted). std::logic_error — API misuse, e.g. kKnn over an
 // overlay — is NOT absorbed; the caller rethrows it. The partial ids
-// gathered so far remain valid; kRangeCount partials are withheld (a
-// partial tally is indistinguishable from a full one).
+// gathered so far remain valid; kRangeCount partials keep the tally
+// accumulated up to the stop point (RangeCountInto bumps the result's
+// counter in place; the overlay path materializes ids, so the larger of
+// the two is the matches seen so far) — consistent with partial kRange
+// keeping its ids (core/query_control.h).
 void SettleFailedResult(const Query& query, QueryResult* result) {
   if (query.type == Query::Type::kRangeCount) {
+    result->count = std::max<uint64_t>(result->count, result->ids.size());
     result->ids.clear();
-    result->count = 0;
   } else {
     result->count = result->ids.size();
   }
@@ -205,7 +208,9 @@ void DispatchQueryImpl(const FlatIndex& index, const Query& query,
       result->count = result->ids.size();
       break;
     case Query::Type::kRangeCount:
-      result->count = index.RangeCount(cache, query.box, scratch);
+      // Accumulates into the result's counter in place so a fail-soft stop
+      // surfaces the partial tally (SettleFailedResult keeps it).
+      index.RangeCountInto(cache, query.box, &result->count, scratch);
       break;
     case Query::Type::kSeedScan:
       index.RangeQueryViaSeedScan(cache, query.box, &result->ids, scratch);

@@ -104,8 +104,10 @@ struct Query {
 /// any other status means the query stopped early (deadline, cancellation,
 /// budget, I/O failure, admission shed) and `ids` holds the matches gathered
 /// up to the stop point — a valid partial result, never torn, with
-/// `count == ids.size()` still holding (kRangeCount partials report 0: a
-/// partial count is indistinguishable from a full one, so it is withheld).
+/// `count == ids.size()` still holding. kRangeCount partials carry the
+/// tally accumulated so far (a lower bound on the exact count), mirroring
+/// how partial kRange keeps the ids gathered so far; check `status` to
+/// distinguish a partial tally from an exact one (core/query_control.h).
 struct QueryResult {
   std::vector<uint64_t> ids;
   uint64_t count = 0;

@@ -8,6 +8,7 @@
 #include "geometry/box_kernels.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <limits>
 
@@ -32,6 +33,18 @@ inline uint8_t GateOneBox(const double* b, const Aabb& q) {
                   (b[1] <= q.hi().y) & (b[4] >= q.lo().y) &
                   (b[2] <= q.hi().z) & (b[5] >= q.lo().z);
   return static_cast<uint8_t>(hit);
+}
+
+// One strided AoS containment gate: non-empty box fully inside `q`. Every
+// comparison is false on NaN and an empty query admits no non-empty box
+// (lo >= q.lo && hi <= q.hi && lo <= hi forces q.lo <= q.hi), so no special
+// cases are needed.
+inline uint8_t CoverOneBox(const double* b, const Aabb& q) {
+  const int covered = (b[0] <= b[3]) & (b[1] <= b[4]) & (b[2] <= b[5]) &
+                      (b[0] >= q.lo().x) & (b[3] <= q.hi().x) &
+                      (b[1] >= q.lo().y) & (b[4] <= q.hi().y) &
+                      (b[2] >= q.lo().z) & (b[5] <= q.hi().z);
+  return static_cast<uint8_t>(covered);
 }
 
 }  // namespace
@@ -102,6 +115,60 @@ void IntersectsBatch(const char* boxes, size_t stride, size_t count,
   }
 #else
   IntersectsBatchScalar(boxes, stride, count, query, hits);
+#endif
+}
+
+void ContainsBatchScalar(const char* boxes, size_t stride, size_t count,
+                         const Aabb& query, uint8_t* covered) {
+  for (size_t i = 0; i < count; ++i) {
+    double b[6];  // lo.x lo.y lo.z hi.x hi.y hi.z
+    std::memcpy(b, boxes + i * stride, sizeof(b));
+    covered[i] = CoverOneBox(b, query);
+  }
+}
+
+void ContainsBatch(const char* boxes, size_t stride, size_t count,
+                   const Aabb& query, uint8_t* covered) {
+#if defined(__AVX2__)
+  // Same lane maps as IntersectsBatch (L = lo corners + hi.x, Hs = hi
+  // corners + lo.z) with the predicates flipped to containment. Lane 3 is
+  // junk: ql/qh carry ∓inf there so it always passes, and the movemask is
+  // masked to the low three bits anyway.
+  const __m256d qh = _mm256_set_pd(kInf, query.hi().z, query.hi().y,
+                                   query.hi().x);
+  const __m256d ql = _mm256_set_pd(-kInf, query.lo().z, query.lo().y,
+                                   query.lo().x);
+  for (size_t i = 0; i < count; ++i) {
+    const double* b = reinterpret_cast<const double*>(boxes + i * stride);
+    const __m256d lo = _mm256_loadu_pd(b);
+    const __m256d h = _mm256_loadu_pd(b + 2);
+    const __m256d hs = _mm256_permute4x64_pd(h, _MM_SHUFFLE(0, 3, 2, 1));
+    const __m256d c1 = _mm256_cmp_pd(lo, ql, _CMP_GE_OQ);
+    const __m256d c2 = _mm256_cmp_pd(hs, qh, _CMP_LE_OQ);
+    const __m256d c3 = _mm256_cmp_pd(lo, hs, _CMP_LE_OQ);  // empty check
+    const int m = _mm256_movemask_pd(_mm256_and_pd(_mm256_and_pd(c1, c2), c3));
+    covered[i] = static_cast<uint8_t>((m & 7) == 7);
+  }
+#elif defined(__SSE2__) || defined(_M_X64)
+  const __m128d qh_xy = _mm_set_pd(query.hi().y, query.hi().x);
+  const __m128d ql_xy = _mm_set_pd(query.lo().y, query.lo().x);
+  const double qhz = query.hi().z, qlz = query.lo().z;
+  for (size_t i = 0; i < count; ++i) {
+    const double* b = reinterpret_cast<const double*>(boxes + i * stride);
+    const __m128d lo_xy = _mm_loadu_pd(b);          // [lo.x lo.y]
+    const __m128d mid = _mm_loadu_pd(b + 2);        // [lo.z hi.x]
+    const __m128d hi_yz = _mm_loadu_pd(b + 4);      // [hi.y hi.z]
+    const __m128d hi_xy = _mm_shuffle_pd(mid, hi_yz, 0b01);  // [hi.x hi.y]
+    const __m128d c1 = _mm_cmpge_pd(lo_xy, ql_xy);
+    const __m128d c2 = _mm_cmple_pd(hi_xy, qh_xy);
+    const __m128d c3 = _mm_cmple_pd(lo_xy, hi_xy);  // empty check, x/y
+    const int mxy = _mm_movemask_pd(_mm_and_pd(_mm_and_pd(c1, c2), c3));
+    const double loz = b[2], hiz = b[5];
+    const int cz = (loz <= hiz) & (loz >= qlz) & (hiz <= qhz);
+    covered[i] = static_cast<uint8_t>((mxy == 3) & cz);
+  }
+#else
+  ContainsBatchScalar(boxes, stride, count, query, covered);
 #endif
 }
 
@@ -240,6 +307,85 @@ void IntersectsSoa(const SoaBoxes& soa, const Aabb& query, uint8_t* hits) {
   }
 #else
   IntersectsSoaScalar(soa, query, hits);
+#endif
+}
+
+void ContainsSoaScalar(const SoaBoxes& soa, const Aabb& query,
+                       uint8_t* covered) {
+  const double* lox = soa.lo(0);
+  const double* loy = soa.lo(1);
+  const double* loz = soa.lo(2);
+  const double* hix = soa.hi(0);
+  const double* hiy = soa.hi(1);
+  const double* hiz = soa.hi(2);
+  for (size_t i = 0; i < soa.padded_count(); ++i) {
+    const int cov =
+        (lox[i] <= hix[i]) & (loy[i] <= hiy[i]) & (loz[i] <= hiz[i]) &
+        (lox[i] >= query.lo().x) & (hix[i] <= query.hi().x) &
+        (loy[i] >= query.lo().y) & (hiy[i] <= query.hi().y) &
+        (loz[i] >= query.lo().z) & (hiz[i] <= query.hi().z);
+    covered[i] = static_cast<uint8_t>(cov);
+  }
+}
+
+void ContainsSoa(const SoaBoxes& soa, const Aabb& query, uint8_t* covered) {
+#if defined(__AVX2__)
+  const __m256d qhx = _mm256_set1_pd(query.hi().x);
+  const __m256d qhy = _mm256_set1_pd(query.hi().y);
+  const __m256d qhz = _mm256_set1_pd(query.hi().z);
+  const __m256d qlx = _mm256_set1_pd(query.lo().x);
+  const __m256d qly = _mm256_set1_pd(query.lo().y);
+  const __m256d qlz = _mm256_set1_pd(query.lo().z);
+  for (size_t i = 0; i < soa.padded_count(); i += 4) {
+    const __m256d lox = _mm256_loadu_pd(soa.lo(0) + i);
+    const __m256d loy = _mm256_loadu_pd(soa.lo(1) + i);
+    const __m256d loz = _mm256_loadu_pd(soa.lo(2) + i);
+    const __m256d hix = _mm256_loadu_pd(soa.hi(0) + i);
+    const __m256d hiy = _mm256_loadu_pd(soa.hi(1) + i);
+    const __m256d hiz = _mm256_loadu_pd(soa.hi(2) + i);
+    __m256d m = _mm256_and_pd(_mm256_cmp_pd(lox, hix, _CMP_LE_OQ),
+                              _mm256_cmp_pd(loy, hiy, _CMP_LE_OQ));
+    m = _mm256_and_pd(m, _mm256_cmp_pd(loz, hiz, _CMP_LE_OQ));
+    m = _mm256_and_pd(m, _mm256_cmp_pd(lox, qlx, _CMP_GE_OQ));
+    m = _mm256_and_pd(m, _mm256_cmp_pd(hix, qhx, _CMP_LE_OQ));
+    m = _mm256_and_pd(m, _mm256_cmp_pd(loy, qly, _CMP_GE_OQ));
+    m = _mm256_and_pd(m, _mm256_cmp_pd(hiy, qhy, _CMP_LE_OQ));
+    m = _mm256_and_pd(m, _mm256_cmp_pd(loz, qlz, _CMP_GE_OQ));
+    m = _mm256_and_pd(m, _mm256_cmp_pd(hiz, qhz, _CMP_LE_OQ));
+    const int mask = _mm256_movemask_pd(m);
+    covered[i + 0] = static_cast<uint8_t>(mask & 1);
+    covered[i + 1] = static_cast<uint8_t>((mask >> 1) & 1);
+    covered[i + 2] = static_cast<uint8_t>((mask >> 2) & 1);
+    covered[i + 3] = static_cast<uint8_t>((mask >> 3) & 1);
+  }
+#elif defined(__SSE2__) || defined(_M_X64)
+  const __m128d qhx = _mm_set1_pd(query.hi().x);
+  const __m128d qhy = _mm_set1_pd(query.hi().y);
+  const __m128d qhz = _mm_set1_pd(query.hi().z);
+  const __m128d qlx = _mm_set1_pd(query.lo().x);
+  const __m128d qly = _mm_set1_pd(query.lo().y);
+  const __m128d qlz = _mm_set1_pd(query.lo().z);
+  for (size_t i = 0; i < soa.padded_count(); i += 2) {
+    const __m128d lox = _mm_loadu_pd(soa.lo(0) + i);
+    const __m128d loy = _mm_loadu_pd(soa.lo(1) + i);
+    const __m128d loz = _mm_loadu_pd(soa.lo(2) + i);
+    const __m128d hix = _mm_loadu_pd(soa.hi(0) + i);
+    const __m128d hiy = _mm_loadu_pd(soa.hi(1) + i);
+    const __m128d hiz = _mm_loadu_pd(soa.hi(2) + i);
+    __m128d m = _mm_and_pd(_mm_cmple_pd(lox, hix), _mm_cmple_pd(loy, hiy));
+    m = _mm_and_pd(m, _mm_cmple_pd(loz, hiz));
+    m = _mm_and_pd(m, _mm_cmpge_pd(lox, qlx));
+    m = _mm_and_pd(m, _mm_cmple_pd(hix, qhx));
+    m = _mm_and_pd(m, _mm_cmpge_pd(loy, qly));
+    m = _mm_and_pd(m, _mm_cmple_pd(hiy, qhy));
+    m = _mm_and_pd(m, _mm_cmpge_pd(loz, qlz));
+    m = _mm_and_pd(m, _mm_cmple_pd(hiz, qhz));
+    const int mask = _mm_movemask_pd(m);
+    covered[i + 0] = static_cast<uint8_t>(mask & 1);
+    covered[i + 1] = static_cast<uint8_t>((mask >> 1) & 1);
+  }
+#else
+  ContainsSoaScalar(soa, query, covered);
 #endif
 }
 
@@ -515,6 +661,189 @@ void IntersectsQuantizedSoa(const QuantizedSoa& soa,
   std::memset(hits + soa.count(), 0, padded - soa.count());
 #else
   IntersectsQuantizedSoaScalar(soa, query, hits);
+#endif
+}
+
+namespace {
+
+// The read-side dequantization corners, formula-identical to
+// CompressedNodeView::ChildBoxAt (rtree/node.h): the outward-widened box
+// those corners span is guaranteed to contain the child's exact MBR, so a
+// cell certified here certifies the exact MBR too. OuterLo is weakly
+// monotone in the cell (integer-by-double multiply and the add are
+// correctly rounded, cell_width >= 0); OuterHi is weakly monotone on the
+// linear region c <= kQuantMaxCell - 3 for the same reason, and the
+// threshold search below treats the node_hi clamp at the top separately
+// rather than assuming monotonicity across that seam.
+inline double OuterLo(double origin, double cell_width, uint32_t c) {
+  return c <= 2 ? origin : origin + static_cast<int>(c - 2) * cell_width;
+}
+
+inline double OuterHi(double origin, double node_hi, double cell_width,
+                      uint32_t c) {
+  return c + 2 >= kQuantMaxCell
+             ? node_hi
+             : origin + static_cast<int>(c + 2) * cell_width;
+}
+
+}  // namespace
+
+QuantizedCoverBox QuantizeCoverQuery(const Aabb& node_box, const Aabb& query) {
+  QuantizedCoverBox cover;
+  cover.never = node_box.IsEmpty() || query.IsEmpty();
+  if (cover.never) return cover;
+  for (int axis = 0; axis < 3; ++axis) {
+    const double origin = node_box.lo()[axis];
+    const double node_hi = node_box.hi()[axis];
+    const double cell =
+        (node_hi - origin) / static_cast<double>(kQuantMaxCell);
+    const double qlo = query.lo()[axis];
+    const double qhi = query.hi()[axis];
+    if (!std::isfinite(cell) || !(cell >= 0.0)) {
+      cover.never = true;  // non-finite node box: nothing is certifiable
+      return cover;
+    }
+
+    // Smallest cell whose dequantized lo corner clears query.lo. OuterLo is
+    // weakly monotone over the whole range, so a binary search finds the
+    // threshold; infeasible (or NaN query corner — every compare false)
+    // means no cell qualifies on this axis.
+    if (!(OuterLo(origin, cell, kQuantMaxCell) >= qlo)) {
+      cover.never = true;
+      return cover;
+    }
+    uint32_t lo = 0, hi = kQuantMaxCell;
+    while (lo < hi) {
+      const uint32_t mid = lo + (hi - lo) / 2;
+      if (OuterLo(origin, cell, mid) >= qlo) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    cover.lo[axis] = static_cast<uint16_t>(lo);
+
+    // Largest cell whose dequantized hi corner stays under query.hi. Search
+    // the linear region [0, kQuantMaxCell - 3] (monotone), then admit the
+    // clamped top cells only if node_hi itself qualifies AND the whole
+    // linear region does — cells between the two regions must not sneak
+    // through uncertified.
+    constexpr uint32_t kLinearTop = kQuantMaxCell - 3;
+    if (!(OuterHi(origin, node_hi, cell, 0) <= qhi)) {
+      cover.never = true;
+      return cover;
+    }
+    lo = 0;
+    hi = kLinearTop;
+    while (lo < hi) {
+      const uint32_t mid = lo + (hi - lo + 1) / 2;
+      if (OuterHi(origin, node_hi, cell, mid) <= qhi) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    cover.hi[axis] = (lo == kLinearTop && node_hi <= qhi)
+                         ? static_cast<uint16_t>(kQuantMaxCell)
+                         : static_cast<uint16_t>(lo);
+  }
+  return cover;
+}
+
+void ContainsQuantizedSoaScalar(const QuantizedSoa& soa,
+                                const QuantizedCoverBox& cover,
+                                uint8_t* covered) {
+  const size_t padded = soa.padded_count();
+  if (padded == 0) return;  // empty node: no bytes to write (see the
+                            // intersection gate)
+  if (cover.never) {
+    std::memset(covered, 0, padded);
+    return;
+  }
+  const uint16_t* lox = soa.lo(0);
+  const uint16_t* loy = soa.lo(1);
+  const uint16_t* loz = soa.lo(2);
+  const uint16_t* hix = soa.hi(0);
+  const uint16_t* hiy = soa.hi(1);
+  const uint16_t* hiz = soa.hi(2);
+  for (size_t i = 0; i < soa.count(); ++i) {
+    const int cov = (lox[i] >= cover.lo[0]) & (hix[i] <= cover.hi[0]) &
+                    (loy[i] >= cover.lo[1]) & (hiy[i] <= cover.hi[1]) &
+                    (loz[i] >= cover.lo[2]) & (hiz[i] <= cover.hi[2]);
+    covered[i] = static_cast<uint8_t>(cov);
+  }
+  std::memset(covered + soa.count(), 0, padded - soa.count());
+}
+
+void ContainsQuantizedSoa(const QuantizedSoa& soa,
+                          const QuantizedCoverBox& cover, uint8_t* covered) {
+#if defined(__AVX2__) || defined(__SSE2__) || defined(_M_X64)
+  const size_t padded = soa.padded_count();
+  if (padded == 0) return;  // see the scalar variant
+  if (cover.never) {
+    std::memset(covered, 0, padded);
+    return;
+  }
+#endif
+#if defined(__AVX2__)
+  // Unsigned compares via the XOR-0x8000 bias, like the intersection gate:
+  // a child fails certification iff lo < cover.lo or hi > cover.hi on any
+  // axis.
+  const __m256i bias = _mm256_set1_epi16(static_cast<int16_t>(0x8000));
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i clo[3], chi[3];
+  for (int a = 0; a < 3; ++a) {
+    clo[a] = _mm256_set1_epi16(static_cast<int16_t>(cover.lo[a] ^ 0x8000));
+    chi[a] = _mm256_set1_epi16(static_cast<int16_t>(cover.hi[a] ^ 0x8000));
+  }
+  for (size_t i = 0; i < padded; i += 16) {
+    __m256i fail = zero;
+    for (int a = 0; a < 3; ++a) {
+      const __m256i lo = _mm256_xor_si256(
+          _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(soa.lo(a) + i)),
+          bias);
+      const __m256i hi = _mm256_xor_si256(
+          _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(soa.hi(a) + i)),
+          bias);
+      fail = _mm256_or_si256(fail, _mm256_cmpgt_epi16(clo[a], lo));
+      fail = _mm256_or_si256(fail, _mm256_cmpgt_epi16(hi, chi[a]));
+    }
+    const int mask = _mm256_movemask_epi8(_mm256_cmpeq_epi16(fail, zero));
+    for (int k = 0; k < 16; ++k) {
+      covered[i + k] = static_cast<uint8_t>((mask >> (2 * k)) & 1);
+    }
+  }
+  std::memset(covered + soa.count(), 0, padded - soa.count());
+#elif defined(__SSE2__) || defined(_M_X64)
+  const __m128i bias = _mm_set1_epi16(static_cast<int16_t>(0x8000));
+  const __m128i zero = _mm_setzero_si128();
+  __m128i clo[3], chi[3];
+  for (int a = 0; a < 3; ++a) {
+    clo[a] = _mm_set1_epi16(static_cast<int16_t>(cover.lo[a] ^ 0x8000));
+    chi[a] = _mm_set1_epi16(static_cast<int16_t>(cover.hi[a] ^ 0x8000));
+  }
+  for (size_t i = 0; i < padded; i += 8) {
+    __m128i fail = zero;
+    for (int a = 0; a < 3; ++a) {
+      const __m128i lo = _mm_xor_si128(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(soa.lo(a) + i)),
+          bias);
+      const __m128i hi = _mm_xor_si128(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(soa.hi(a) + i)),
+          bias);
+      fail = _mm_or_si128(fail, _mm_cmpgt_epi16(clo[a], lo));
+      fail = _mm_or_si128(fail, _mm_cmpgt_epi16(hi, chi[a]));
+    }
+    const int mask = _mm_movemask_epi8(_mm_cmpeq_epi16(fail, zero));
+    for (int k = 0; k < 8; ++k) {
+      covered[i + k] = static_cast<uint8_t>((mask >> (2 * k)) & 1);
+    }
+  }
+  std::memset(covered + soa.count(), 0, padded - soa.count());
+#else
+  ContainsQuantizedSoaScalar(soa, cover, covered);
 #endif
 }
 

@@ -71,6 +71,34 @@ void IntersectsSoa(const SoaBoxes& soa, const Aabb& query, uint8_t* hits);
 void IntersectsSoaScalar(const SoaBoxes& soa, const Aabb& query,
                          uint8_t* hits);
 
+/// --- Containment ("covered") gates for aggregate pruning ---
+///
+/// Counterparts of the intersection gates above with the predicate flipped
+/// from "overlaps the query" to "lies fully inside the query":
+/// covered[i] = 1 iff box i is non-empty and query.Contains(box i) (per
+/// Aabb::Contains on a non-empty box: lo >= query.lo and hi <= query.hi on
+/// every axis). An empty or NaN query covers nothing; empty boxes report 0
+/// (a covered verdict licenses skipping work for the box's *contents*, and
+/// an empty box has none worth certifying). The aggregate-pruned descent
+/// (core/flat_index.cc) adds a covered child's stored subtree count without
+/// descending, so a false positive would miscount — these gates are exact
+/// for exact boxes and conservative for quantized ones (may under-trigger,
+/// never over-trigger). SIMD forms are bit-for-bit identical to the scalar
+/// references, like every kernel in this header.
+
+/// Scalar reference: tests `count` boxes laid out `stride` bytes apart
+/// (Aabb object layout) against `query`, writing 0/1 into `covered`.
+void ContainsBatchScalar(const char* boxes, size_t stride, size_t count,
+                         const Aabb& query, uint8_t* covered);
+void ContainsBatch(const char* boxes, size_t stride, size_t count,
+                   const Aabb& query, uint8_t* covered);
+
+/// SoA form over the same lanes as IntersectsSoa. Writes
+/// soa.padded_count() bytes; padding lanes (canonical empty boxes) are 0.
+void ContainsSoa(const SoaBoxes& soa, const Aabb& query, uint8_t* covered);
+void ContainsSoaScalar(const SoaBoxes& soa, const Aabb& query,
+                       uint8_t* covered);
+
 /// Gates every box of `soa` against the closed ball around `center`:
 /// hits[i] = 1 iff box i is non-empty and its min distance to `center` is
 /// <= radius — exactly Aabb::IntersectsSphere (same operation order:
@@ -175,6 +203,37 @@ void IntersectsQuantizedSoa(const QuantizedSoa& soa,
 void IntersectsQuantizedSoaScalar(const QuantizedSoa& soa,
                                   const QuantizedQueryBox& query,
                                   uint8_t* hits);
+
+/// Containment thresholds for quantized children: a slot is certified
+/// covered iff slot.lo[a] >= lo[a] and slot.hi[a] <= hi[a] on every axis.
+/// The thresholds are computed against the node's *conservative
+/// dequantization* (CompressedNodeView::ChildBoxAt — the outward-widened box
+/// guaranteed to contain the child's exact MBR): lo[a] is the smallest cell
+/// whose dequantized lo corner is >= query.lo, hi[a] the largest cell whose
+/// dequantized hi corner is <= query.hi. Certified therefore implies
+/// dequantized box ⊆ query ⊆-transitively exact MBR ⊆ query — exactness can
+/// only be *under*-reported (a covered child may fail certification near the
+/// query faces and be descended exactly instead; it can never be certified
+/// spuriously). `never` is set when no cell can qualify: empty query, empty
+/// or non-finite node box.
+struct QuantizedCoverBox {
+  uint16_t lo[3] = {0, 0, 0};
+  uint16_t hi[3] = {0, 0, 0};
+  bool never = false;
+};
+
+QuantizedCoverBox QuantizeCoverQuery(const Aabb& node_box, const Aabb& query);
+
+/// Certifies every quantized child of `soa` against `cover`:
+/// covered[i] = 1 iff cover.lo[a] <= slot.lo[a] and slot.hi[a] <= cover.hi[a]
+/// on all three axes, or 0 everywhere when cover.never is set. Writes
+/// soa.padded_count() bytes; padding lanes are 0. The dispatching form and
+/// the scalar reference are bit-for-bit identical (pure integer compares).
+void ContainsQuantizedSoa(const QuantizedSoa& soa,
+                          const QuantizedCoverBox& cover, uint8_t* covered);
+void ContainsQuantizedSoaScalar(const QuantizedSoa& soa,
+                                const QuantizedCoverBox& cover,
+                                uint8_t* covered);
 
 }  // namespace flat
 

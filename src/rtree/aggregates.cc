@@ -1,0 +1,136 @@
+#include "rtree/aggregates.h"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace flat {
+namespace {
+
+constexpr char kMagic[8] = {'F', 'L', 'A', 'T', 'A', 'G', 'G', '1'};
+
+// One slot as serialized: 8 bytes elements + 4 bytes pages.
+constexpr size_t kSlotBytes = sizeof(uint64_t) + sizeof(uint32_t);
+// One group header: u32 page + u32 slot_count.
+constexpr size_t kGroupHeaderBytes = 2 * sizeof(uint32_t);
+// Slots are addressed by u16 in the node formats; no legitimate group can
+// exceed this, so the loader rejects larger counts before allocating.
+constexpr uint32_t kMaxSlotsPerPage = 65536;
+
+void WriteU32(std::ostream& out, uint32_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void WriteU64(std::ostream& out, uint64_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+uint32_t ReadU32(std::istream& in) {
+  uint32_t value = 0;
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in) throw std::runtime_error("LoadSeedAggregates: truncated stream");
+  return value;
+}
+
+uint64_t ReadU64(std::istream& in) {
+  uint64_t value = 0;
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in) throw std::runtime_error("LoadSeedAggregates: truncated stream");
+  return value;
+}
+
+}  // namespace
+
+void SaveSeedAggregates(const SeedAggregates& aggregates, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  WriteU64(out, aggregates.total_elements());
+  WriteU64(out, aggregates.page_count());
+
+  // Ascending PageId makes the byte stream a pure function of the map
+  // contents, independent of hash-table iteration order.
+  std::vector<PageId> order;
+  order.reserve(aggregates.page_count());
+  aggregates.ForEachPage([&order](PageId page, const std::vector<AggEntry>&) {
+    order.push_back(page);
+  });
+  std::sort(order.begin(), order.end());
+  for (PageId page : order) {
+    const std::vector<AggEntry>* slots = aggregates.Slots(page);
+    if (page > std::numeric_limits<uint32_t>::max() ||
+        slots->size() > kMaxSlotsPerPage) {
+      throw std::runtime_error(
+          "SaveSeedAggregates: page id or slot count exceeds the format");
+    }
+    WriteU32(out, static_cast<uint32_t>(page));
+    WriteU32(out, static_cast<uint32_t>(slots->size()));
+    for (const AggEntry& e : *slots) {
+      WriteU64(out, e.elements);
+      WriteU32(out, e.pages);
+    }
+  }
+  if (!out) throw std::runtime_error("SaveSeedAggregates: write failed");
+}
+
+SeedAggregates LoadSeedAggregates(std::istream& in) {
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+    throw std::runtime_error(
+        "LoadSeedAggregates: bad magic (not a FLATAGG1 sidecar)");
+  }
+  SeedAggregates aggregates;
+  aggregates.set_total_elements(ReadU64(in));
+  const uint64_t groups = ReadU64(in);
+
+  // The group count is untrusted: parse incrementally — the first truncated
+  // group throws — and never allocate from the header figure. Where the
+  // stream is seekable, bound it against the bytes actually present so a
+  // hostile count cannot even spin the loop.
+  const std::istream::pos_type here = in.tellg();
+  if (here != std::istream::pos_type(-1)) {
+    in.seekg(0, std::ios::end);
+    const std::istream::pos_type end_pos = in.tellg();
+    in.seekg(here);
+    if (in && end_pos != std::istream::pos_type(-1)) {
+      const uint64_t remaining = static_cast<uint64_t>(end_pos - here);
+      if (groups > remaining / kGroupHeaderBytes) {
+        throw std::runtime_error(
+            "LoadSeedAggregates: group count exceeds the stream");
+      }
+    }
+  }
+
+  bool have_last = false;
+  uint32_t last_page = 0;
+  for (uint64_t g = 0; g < groups; ++g) {
+    const uint32_t page = ReadU32(in);
+    if (have_last && page <= last_page) {
+      throw std::runtime_error(
+          "LoadSeedAggregates: page groups out of order or duplicated");
+    }
+    have_last = true;
+    last_page = page;
+    const uint32_t slot_count = ReadU32(in);
+    if (slot_count > kMaxSlotsPerPage) {
+      throw std::runtime_error(
+          "LoadSeedAggregates: slot count exceeds the u16 slot range");
+    }
+    for (uint32_t slot = 0; slot < slot_count; ++slot) {
+      AggEntry e;
+      e.elements = ReadU64(in);
+      e.pages = ReadU32(in);
+      // Zero entries are the canonical "absent" encoding; skip them so the
+      // in-memory map round-trips exactly (Set would materialize them).
+      if (e.elements != 0) {
+        aggregates.Set(page, static_cast<uint16_t>(slot), e);
+      }
+    }
+  }
+  return aggregates;
+}
+
+}  // namespace flat

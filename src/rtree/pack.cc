@@ -74,7 +74,8 @@ std::vector<RTreeEntry> PackLevel(PageFile* file,
                                   const std::vector<RTreeEntry>& ordered,
                                   uint8_t level, PageCategory leaf_category,
                                   PageCategory internal_category,
-                                  NodeFormat internal_format) {
+                                  NodeFormat internal_format,
+                                  AggregateBuilder* aggregates) {
   // Leaves and object pages are always exact; the format applies to the
   // internal levels only (see pack.h).
   const bool quantized =
@@ -104,6 +105,27 @@ std::vector<RTreeEntry> PackLevel(PageFile* file,
       writer.Init(level);
       for (size_t i = start; i < end; ++i) writer.Append(ordered[i]);
     }
+    if (aggregates != nullptr && level > 0) {
+      // Roll the children's subtree totals up into this page's sidecar
+      // entries and its own total. An undeclared child (only possible when
+      // a caller seeded the builder partially) keeps this page's total
+      // undeclared too, so incompleteness propagates to the root instead of
+      // materializing a wrong count.
+      AggEntry total{0, 1};  // the page itself
+      bool complete = true;
+      for (size_t i = start; i < end; ++i) {
+        const AggEntry* child =
+            aggregates->PageTotal(static_cast<PageId>(ordered[i].id));
+        if (child == nullptr) {
+          complete = false;
+          continue;
+        }
+        aggregates->RecordSlot(page, static_cast<uint16_t>(i - start), *child);
+        total.elements += child->elements;
+        total.pages += child->pages;
+      }
+      if (complete) aggregates->SetPageTotal(page, total);
+    }
     parents.push_back(RTreeEntry{bounds, page});
   }
   return parents;
@@ -112,7 +134,8 @@ std::vector<RTreeEntry> PackLevel(PageFile* file,
 RTree BuildUpperLevels(PageFile* file, std::vector<RTreeEntry> level_entries,
                        uint8_t level, LevelOrder order,
                        PageCategory internal_category, ThreadPool* pool,
-                       NodeFormat internal_format) {
+                       NodeFormat internal_format,
+                       AggregateBuilder* aggregates) {
   assert(!level_entries.empty());
   const uint32_t capacity =
       NodeCapacityFor(internal_format, file->page_size());
@@ -122,7 +145,7 @@ RTree BuildUpperLevels(PageFile* file, std::vector<RTreeEntry> level_entries,
     }
     level_entries =
         PackLevel(file, level_entries, level, PageCategory::kRTreeLeaf,
-                  internal_category, internal_format);
+                  internal_category, internal_format, aggregates);
     ++level;
   }
   return RTree(file, static_cast<PageId>(level_entries.front().id), level);

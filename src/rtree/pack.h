@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "rtree/aggregates.h"
 #include "rtree/entry.h"
 #include "rtree/node.h"
 #include "rtree/rtree.h"
@@ -75,11 +76,21 @@ size_t CeilSqrt(size_t value);
 /// must be exact), and only readers that dispatch on the header's format
 /// byte (the FLAT seed descent) may consume quantized pages; the plain
 /// RTree query path reads exact pages only.
+///
+/// With an `aggregates` builder, every internal page packed here also
+/// records one sidecar entry per child slot (the child's subtree totals,
+/// looked up from the builder's page totals) and publishes the packed
+/// page's own rolled-up total for the level above (rtree/aggregates.h).
+/// A child with no declared total leaves its slot — and the parent's
+/// total — unrecorded, which query-time lookups treat as "descend
+/// exactly". Runs on the serial packing path, so the sidecar is as
+/// deterministic as the page bytes.
 std::vector<RTreeEntry> PackLevel(
     PageFile* file, const std::vector<RTreeEntry>& ordered, uint8_t level,
     PageCategory leaf_category = PageCategory::kRTreeLeaf,
     PageCategory internal_category = PageCategory::kRTreeInternal,
-    NodeFormat internal_format = NodeFormat::kExact);
+    NodeFormat internal_format = NodeFormat::kExact,
+    AggregateBuilder* aggregates = nullptr);
 
 /// Repeatedly packs levels until a single root remains; `level_entries` are
 /// the parents of the already-written level `level - 1`. Returns the finished
@@ -88,12 +99,14 @@ std::vector<RTreeEntry> PackLevel(
 /// `internal_format` as in PackLevel; the STR tile size follows the selected
 /// format's capacity, so compressed levels pack ~3.45x more children per
 /// node and the tree gets correspondingly shallower.
+/// `aggregates` (optional) as in PackLevel, threaded through every level.
 RTree BuildUpperLevels(
     PageFile* file, std::vector<RTreeEntry> level_entries, uint8_t level,
     LevelOrder order,
     PageCategory internal_category = PageCategory::kRTreeInternal,
     ThreadPool* pool = nullptr,
-    NodeFormat internal_format = NodeFormat::kExact);
+    NodeFormat internal_format = NodeFormat::kExact,
+    AggregateBuilder* aggregates = nullptr);
 
 /// Bulkloads from pre-ordered leaf entries: packs leaves in the given order,
 /// then builds upper levels per `order`. The workhorse shared by every

@@ -78,8 +78,9 @@ Aabb QueryGate(const Query& query) {
 // (siblings cancelled BY the group report kCancelled, which would otherwise
 // mask the real cause), else the first non-kOk sub in scatter order. The
 // partial ids of failed subs are still merged: a partial union, sorted, is
-// a valid partial result. A non-kOk merged kRangeCount reports 0 (a partial
-// tally is indistinguishable from a full one).
+// a valid partial result. A non-kOk merged kRangeCount likewise keeps the
+// sum of whatever the sub-queries tallied — a lower bound on the exact
+// count, mirroring partial kRange keeping its ids (core/query_control.h).
 void GatherSubResults(std::vector<QueryResult>* sub_results, size_t first,
                       size_t count, Query::Type type, const QueryGroup* group,
                       QueryResult* out) {
@@ -110,9 +111,7 @@ void GatherSubResults(std::vector<QueryResult>* sub_results, size_t first,
       }
     }
   }
-  if (type == Query::Type::kRangeCount) {
-    if (out->status != QueryStatus::kOk) out->count = 0;
-  } else {
+  if (type != Query::Type::kRangeCount) {
     std::sort(out->ids.begin(), out->ids.end());
     out->count = out->ids.size();
   }
@@ -195,14 +194,32 @@ std::vector<Aabb> ShardBounds(const ShardCatalog& catalog) {
 /// overlay-annotated sub-query per routed shard, plus — when an overlay is
 /// pinned — an index-free tail sub-query scanning the spill bucket.
 /// Returns the number of sub-queries appended.
+///
+/// `precount` (non-null for kRangeCount) receives the catalog-level
+/// shortcut: a shard whose element bounds are fully inside the query box
+/// contributes its exact catalog element count here instead of a sub-query
+/// — zero reads for that shard. Only taken when the shard's index carries
+/// aggregates (which certifies every element box non-empty and finite, so
+/// "bounds covered" really means "every element matches") and the overlay
+/// window is empty (an overlay can mask or override this shard's ids, so
+/// overlayed counts descend exactly).
 size_t AppendScatter(const ShardCatalog& catalog,
                      const std::vector<FlatIndex>& indexes,
                      const OverlayView* overlay, const Query& query,
-                     std::vector<IndexedQuery>* scatter) {
+                     std::vector<IndexedQuery>* scatter,
+                     uint64_t* precount = nullptr) {
   const Aabb gate = QueryGate(query);
+  const bool can_precount = precount != nullptr &&
+                            query.type == Query::Type::kRangeCount &&
+                            (overlay == nullptr || overlay->empty());
   size_t count = 0;
   for (size_t s = 0; s < catalog.shards.size(); ++s) {
     if (!catalog.shards[s].bounds.Intersects(gate)) continue;
+    if (can_precount && indexes[s].has_aggregates() &&
+        gate.Contains(catalog.shards[s].bounds)) {
+      *precount += catalog.shards[s].element_count;
+      continue;
+    }
     scatter->push_back(IndexedQuery{&indexes[s], query, overlay, s});
     ++count;
   }
@@ -314,9 +331,15 @@ std::shared_ptr<const ShardedFlatStore::Base> ShardedFlatStore::BuildBase(
       shard_files[i] = file.get();
       base->files[i] = std::move(file);
     }
+    // Each shard build is serial (the ParallelFor is the parallelism) and
+    // may carry the aggregate-sidecar option; the PageFile bytes are
+    // identical with or without it.
+    FlatIndex::BuildOptions shard_build;
+    shard_build.aggregate_counts = options.aggregate_counts;
     ParallelFor(pool, shard_count, /*grain=*/1, [&](size_t, size_t i) {
-      base->indexes[i] = FlatIndex::Build(
-          shard_files[i], std::move(shard_elements[i]), &stats.per_shard[i]);
+      base->indexes[i] =
+          FlatIndex::Build(shard_files[i], std::move(shard_elements[i]),
+                           shard_build, &stats.per_shard[i]);
     });
     stats.build_seconds = SecondsSince(t_build);
 
@@ -479,12 +502,14 @@ QueryResult ShardedFlatStore::RunSingle(const Query& query) const {
   std::vector<std::unique_ptr<ControlBlock>> blocks;
   Query wired = query;
   const QueryGroup* group = WireControlGroup(&wired, &blocks);
+  uint64_t precount = 0;
   AppendScatter(snapshot.base_->catalog, snapshot.base_->indexes,
-                snapshot.overlay_.get(), wired, &scatter);
+                snapshot.overlay_.get(), wired, &scatter, &precount);
   std::vector<QueryResult> sub_results = engine_->RunMulti(scatter);
   QueryResult result;
   GatherSubResults(&sub_results, 0, sub_results.size(), query.type, group,
                    &result);
+  result.count += precount;  // fully covered shards, answered off-catalog
   return result;
 }
 
@@ -542,21 +567,24 @@ std::vector<QueryResult> ShardedFlatStore::RunBatch(
     std::vector<Span> spans(batch.size());
     std::vector<std::unique_ptr<ControlBlock>> blocks;
     std::vector<const QueryGroup*> groups(batch.size(), nullptr);
+    std::vector<uint64_t> precounts(batch.size(), 0);
     for (size_t i = 0; i < batch.size(); ++i) {
       spans[i].first = scatter.size();
       Query wired = batch[i];
       groups[i] = WireControlGroup(&wired, &blocks);
-      spans[i].count =
-          AppendScatter(snapshot.base_->catalog, snapshot.base_->indexes,
-                        snapshot.overlay_.get(), wired, &scatter);
+      spans[i].count = AppendScatter(
+          snapshot.base_->catalog, snapshot.base_->indexes,
+          snapshot.overlay_.get(), wired, &scatter, &precounts[i]);
     }
 
     std::vector<QueryResult> sub_results = engine_->RunMulti(scatter);
 
-    // Gather: per original query, merge its shards' sub-results.
+    // Gather: per original query, merge its shards' sub-results (plus any
+    // covered shards answered straight off the catalog).
     for (size_t i = 0; i < batch.size(); ++i) {
       GatherSubResults(&sub_results, spans[i].first, spans[i].count,
                        batch[i].type, groups[i], &results[i]);
+      results[i].count += precounts[i];
     }
   }
 
@@ -583,8 +611,9 @@ QueryResult ShardedFlatStore::Snapshot::Execute(const Query& query) const {
   QueryResult result;
   if (base_ == nullptr) return result;  // default-constructed Snapshot
   std::vector<IndexedQuery> scatter;
+  uint64_t precount = 0;
   AppendScatter(base_->catalog, base_->indexes, overlay_.get(), query,
-                &scatter);
+                &scatter, &precount);
   std::vector<QueryResult> sub_results(scatter.size());
   CrawlScratch scratch;
   QueryStatus failed = QueryStatus::kOk;
@@ -611,6 +640,7 @@ QueryResult ShardedFlatStore::Snapshot::Execute(const Query& query) const {
   }
   GatherSubResults(&sub_results, 0, sub_results.size(), query.type,
                    /*group=*/nullptr, &result);
+  result.count += precount;  // fully covered shards, answered off-catalog
   return result;
 }
 
@@ -715,6 +745,21 @@ void ShardedFlatStore::Save(const std::string& dir) const {
                                path.string());
     }
     SavePageFile(*base.files[i], out);
+
+    // Aggregate sidecar rides next to the page file it indexes into; a
+    // shard without aggregates removes any stale sidecar so a reload never
+    // pairs this generation's pages with an older generation's counts.
+    const fs::path agg_path = path.string() + ".agg";
+    if (base.indexes[i].has_aggregates()) {
+      std::ofstream agg_out(agg_path, std::ios::binary | std::ios::trunc);
+      if (!agg_out) {
+        throw std::runtime_error("ShardedFlatStore::Save: cannot open " +
+                                 agg_path.string());
+      }
+      SaveSeedAggregates(*base.indexes[i].aggregates(), agg_out);
+    } else {
+      fs::remove(agg_path);
+    }
   }
 
   // The overlay WAL holds the pinned window (possibly zero ops) — Load
@@ -810,6 +855,28 @@ ShardedFlatStore ShardedFlatStore::Load(
     }
     base->indexes.push_back(
         FlatIndex::Attach(base->files.back().get(), entry.descriptor));
+
+    // Re-attach the aggregate sidecar when present. Its loader rejects
+    // corrupt bytes; on top of that the totals must agree with the catalog
+    // — a sidecar from another generation would silently certify wrong
+    // counts for the catalog-level covered-shard shortcut.
+    const fs::path agg_path = path.string() + ".agg";
+    if (fs::exists(agg_path)) {
+      std::ifstream agg_in(agg_path, std::ios::binary);
+      if (!agg_in) {
+        throw std::runtime_error("ShardedFlatStore::Load: cannot open " +
+                                 agg_path.string());
+      }
+      auto aggregates =
+          std::make_shared<const SeedAggregates>(LoadSeedAggregates(agg_in));
+      if (aggregates->total_elements() != entry.element_count) {
+        throw std::runtime_error(
+            "ShardedFlatStore::Load: aggregate sidecar disagrees with the "
+            "catalog's element count: " +
+            agg_path.string());
+      }
+      base->indexes.back().AttachAggregates(std::move(aggregates));
+    }
   }
 
   store.build_stats_.shards = base->indexes.size();

@@ -95,6 +95,17 @@ class ShardedFlatStore {
     size_t num_threads = 1;
     /// Page size of every shard's PageFile.
     uint32_t page_size = kDefaultPageSize;
+    /// Build per-shard subtree-count aggregates
+    /// (FlatIndex::BuildOptions::aggregate_counts): RangeCount prunes
+    /// covered subtrees via the sidecars, and sub-queries whose whole shard
+    /// is covered by the query are answered from the catalog's element
+    /// counts without touching the shard at all (overlay windows disable
+    /// the shard-level shortcut — overlays must descend exactly). Shard
+    /// PageFiles stay byte-identical either way; Save writes one
+    /// "<shard>.pgf.agg" sidecar per shard and Load re-attaches them.
+    /// Counts and results are bit-identical to the unpruned store
+    /// (tests/aggregate_index_test.cc). Off by default.
+    bool aggregate_counts = false;
   };
 
   /// Build timings and per-shard breakdowns.

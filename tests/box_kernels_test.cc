@@ -16,6 +16,7 @@
 #include "geometry/box_kernels.h"
 #include "geometry/rng.h"
 #include "rtree/entry.h"
+#include "rtree/node.h"
 
 namespace flat {
 namespace {
@@ -449,6 +450,186 @@ TEST(QuantizedGateTest, SoaDispatchMatchesScalarBitForBit) {
     never_query.never = true;
     std::vector<uint8_t> hits(soa.padded_count(), 0xff);
     IntersectsQuantizedSoa(soa, never_query, hits.data());
+    EXPECT_EQ(hits, std::vector<uint8_t>(soa.padded_count(), 0));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Containment ("covered") companions to the gates: a set bit certifies the
+// box is non-empty and fully inside the query — the license for taking a
+// stored aggregate instead of descending, so false positives are bugs while
+// false negatives merely descend.
+// ---------------------------------------------------------------------------
+
+TEST(ContainsKernelsTest, ScalarMatchesAabbContains) {
+  Rng rng(31);
+  for (int round = 0; round < 50; ++round) {
+    const auto boxes = AdversarialBoxes(rng, 97, /*with_nan=*/true);
+    const auto buf = Serialize(boxes, sizeof(Aabb));
+    std::vector<uint8_t> covered(boxes.size());
+    for (const Aabb& q : AdversarialQueries(rng, 8)) {
+      ContainsBatchScalar(buf.data(), sizeof(Aabb), boxes.size(), q,
+                          covered.data());
+      for (size_t i = 0; i < boxes.size(); ++i) {
+        // Aabb::Contains treats an empty box as contained everywhere; the
+        // kernel deliberately does not — an empty/NaN element is invisible
+        // to the intersection gates, so certifying it would miscount.
+        const bool want = !boxes[i].IsEmpty() && q.Contains(boxes[i]);
+        ASSERT_EQ(covered[i] != 0, want)
+            << "box " << boxes[i] << " query " << q;
+      }
+    }
+  }
+}
+
+TEST(ContainsKernelsTest, DispatchMatchesScalarBitForBit) {
+  Rng rng(37);
+  for (size_t stride : {sizeof(Aabb), sizeof(RTreeEntry)}) {
+    for (int round = 0; round < 50; ++round) {
+      const size_t count = 1 + static_cast<size_t>(rng.UniformInt(0, 90));
+      const auto boxes = AdversarialBoxes(rng, count, /*with_nan=*/true);
+      const auto buf = Serialize(boxes, stride);
+      std::vector<uint8_t> expected(count), actual(count);
+      for (const Aabb& q : AdversarialQueries(rng, 6)) {
+        ContainsBatchScalar(buf.data(), stride, count, q, expected.data());
+        ContainsBatch(buf.data(), stride, count, q, actual.data());
+        ASSERT_EQ(std::memcmp(expected.data(), actual.data(), count), 0)
+            << "stride " << stride << " count " << count;
+      }
+    }
+  }
+}
+
+TEST(ContainsKernelsTest, SoaMatchesScalarIncludingPadding) {
+  Rng rng(41);
+  for (int round = 0; round < 40; ++round) {
+    const size_t count = static_cast<size_t>(rng.UniformInt(0, 90));
+    const auto boxes = AdversarialBoxes(rng, count, /*with_nan=*/true);
+    const auto buf = Serialize(boxes, sizeof(RTreeEntry));
+    SoaBoxes soa;
+    soa.Assign(buf.data(), sizeof(RTreeEntry), count);
+    std::vector<uint8_t> scalar(soa.padded_count(), 0xcd);
+    std::vector<uint8_t> dispatched(soa.padded_count(), 0x5e);
+    for (const Aabb& q : AdversarialQueries(rng, 6)) {
+      ContainsSoaScalar(soa, q, scalar.data());
+      ContainsSoa(soa, q, dispatched.data());
+      ASSERT_EQ(std::memcmp(scalar.data(), dispatched.data(),
+                            soa.padded_count()),
+                0)
+          << "count " << count;
+      // Padding lanes never certify (they hold empty boxes).
+      for (size_t i = count; i < soa.padded_count(); ++i) {
+        ASSERT_EQ(dispatched[i], 0);
+      }
+    }
+  }
+}
+
+// Builds a real compressed node page over children drawn inside `node_box`,
+// exactly as the bulkloader writes them.
+struct CompressedPage {
+  std::vector<char> buffer;
+  std::vector<Aabb> children;
+  Aabb bounds;
+
+  CompressedPage(Rng& rng, const Aabb& node_box, size_t count,
+                 uint32_t page_size = 4096)
+      : buffer(page_size) {
+    std::vector<RTreeEntry> entries;
+    for (size_t i = 0; i < count; ++i) {
+      const Aabb child =
+          Aabb::FromCorners(rng.PointIn(node_box), rng.PointIn(node_box));
+      children.push_back(child);
+      bounds.ExpandToInclude(child);
+      entries.push_back(RTreeEntry{child, i});
+    }
+    CompressedNodeWriter writer(buffer.data(), page_size);
+    writer.Init(/*level=*/1, bounds);
+    for (const RTreeEntry& e : entries) writer.Append(e);
+  }
+};
+
+TEST(QuantizedCoverTest, CertificationIsConservative) {
+  Rng rng(43);
+  for (int round = 0; round < 30; ++round) {
+    const Aabb node_box(Vec3(-2, -2, -2), Vec3(2, 2, 2));
+    const CompressedPage page(rng, node_box, 64);
+    const CompressedNodeView view(page.buffer.data());
+    QuantizedSoa soa;
+    soa.Assign(view.slots(), sizeof(QuantizedSlot), view.count());
+    std::vector<uint8_t> covered(soa.padded_count());
+    for (const Aabb& query : AdversarialQueries(rng, 32)) {
+      const QuantizedCoverBox cover =
+          QuantizeCoverQuery(view.node_box(), query);
+      ContainsQuantizedSoaScalar(soa, cover, covered.data());
+      for (uint16_t i = 0; i < view.count(); ++i) {
+        if (!covered[i]) continue;
+        // The certification chain: certified slot => the conservatively
+        // dequantized child box is inside the query => the exact child box
+        // (a subset of it) is too. Under-triggering near the query faces is
+        // fine; a certified slot whose exact box escapes the query is a
+        // counting bug.
+        EXPECT_TRUE(query.Contains(view.ChildBoxAt(i)))
+            << "slot " << i << " query " << query;
+        EXPECT_TRUE(query.Contains(page.children[i]))
+            << "slot " << i << " query " << query;
+      }
+    }
+  }
+}
+
+TEST(QuantizedCoverTest, QueryCoveringNodeBoxCertifiesEverySlot) {
+  Rng rng(47);
+  const Aabb node_box(Vec3(-2, -1, 0), Vec3(2, 3, 4));
+  const CompressedPage page(rng, node_box, 73);
+  const CompressedNodeView view(page.buffer.data());
+  QuantizedSoa soa;
+  soa.Assign(view.slots(), sizeof(QuantizedSlot), view.count());
+  // A query strictly enclosing the node box admits the full cell range on
+  // every axis — the certification must not be vacuously never.
+  const Aabb generous(node_box.lo() - Vec3(1, 1, 1),
+                      node_box.hi() + Vec3(1, 1, 1));
+  const QuantizedCoverBox cover =
+      QuantizeCoverQuery(view.node_box(), generous);
+  ASSERT_FALSE(cover.never);
+  std::vector<uint8_t> covered(soa.padded_count());
+  ContainsQuantizedSoaScalar(soa, cover, covered.data());
+  for (uint16_t i = 0; i < view.count(); ++i) {
+    EXPECT_TRUE(covered[i]) << "slot " << i;
+  }
+  // A query that clips the node box must not certify slots that reach the
+  // clipped face.
+  const QuantizedCoverBox empty_cover = QuantizeCoverQuery(node_box, Aabb());
+  EXPECT_TRUE(empty_cover.never);
+}
+
+TEST(QuantizedCoverTest, SoaDispatchMatchesScalarBitForBit) {
+  Rng rng(53);
+  const Aabb node_box(Vec3(-2, -2, -2), Vec3(2, 2, 2));
+  for (size_t count : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{9},
+                       size_t{15}, size_t{16}, size_t{17}, size_t{73},
+                       size_t{200}}) {
+    const CompressedPage page(rng, node_box, count);
+    const CompressedNodeView view(page.buffer.data());
+    QuantizedSoa soa;
+    soa.Assign(view.slots(), sizeof(QuantizedSlot), count);
+    for (const Aabb& query : AdversarialQueries(rng, 16)) {
+      const QuantizedCoverBox cover =
+          QuantizeCoverQuery(view.node_box(), query);
+      std::vector<uint8_t> scalar(soa.padded_count(), 0xcd);
+      std::vector<uint8_t> dispatched(soa.padded_count(), 0x5e);
+      ContainsQuantizedSoaScalar(soa, cover, scalar.data());
+      ContainsQuantizedSoa(soa, cover, dispatched.data());
+      EXPECT_EQ(scalar, dispatched) << "count " << count;
+      for (size_t i = count; i < soa.padded_count(); ++i) {
+        EXPECT_EQ(dispatched[i], 0);
+      }
+    }
+    // never zeroes everything in both variants.
+    QuantizedCoverBox never_cover;
+    never_cover.never = true;
+    std::vector<uint8_t> hits(soa.padded_count(), 0xff);
+    ContainsQuantizedSoa(soa, never_cover, hits.data());
     EXPECT_EQ(hits, std::vector<uint8_t>(soa.padded_count(), 0));
   }
 }

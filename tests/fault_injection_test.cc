@@ -263,7 +263,9 @@ TEST_F(FailSoftTest, PreCancelledTokenYieldsCancelled) {
   const std::vector<QueryResult> results = engine.Run({query});
   ASSERT_EQ(results.size(), 1u);
   EXPECT_EQ(results[0].status, QueryStatus::kCancelled);
-  EXPECT_EQ(results[0].count, 0u);  // partial kRangeCount tallies withheld
+  // Partial kRangeCount keeps the tally accumulated so far; a pre-set
+  // token trips the first cancellation point before anything is counted.
+  EXPECT_EQ(results[0].count, 0u);
 }
 
 // Cancellation arriving mid-batch from another thread: every query ends in
@@ -330,7 +332,8 @@ TEST_F(FailSoftTest, IoBudgetBoundsPageReads) {
 }
 
 // The controls compose with every query type (range, count, seed-scan,
-// sphere): expired deadline → typed stop, no crash, no partial count.
+// sphere): an already-expired deadline is a typed stop at the very first
+// cancellation point, so even the kept partial tallies are still zero.
 TEST_F(FailSoftTest, ControlsApplyToEveryQueryType) {
   QueryControl expired;
   expired.deadline = std::chrono::steady_clock::now() -
